@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ */
+
+#ifndef VNPU_BENCH_BENCH_UTIL_H
+#define VNPU_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vnpu::bench {
+
+/** Print a banner naming the reproduced figure/table. */
+inline void
+banner(const std::string& id, const std::string& caption)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s — %s\n", id.c_str(), caption.c_str());
+    std::printf("================================================================\n");
+}
+
+/** Print one row of right-aligned columns. */
+inline void
+row(const std::vector<std::string>& cells, int width = 14)
+{
+    for (const std::string& c : cells)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+fmt_u(unsigned long long v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%llu", v);
+    return buf;
+}
+
+} // namespace vnpu::bench
+
+#endif // VNPU_BENCH_BENCH_UTIL_H

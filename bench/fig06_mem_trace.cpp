@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 6 (design motivation): trace of accessed global-memory
+ * addresses for a ResNet workload across NPU cores and iterations.
+ * Demonstrates the access patterns vChunk exploits: tensor-granular
+ * transfers, monotonically increasing addresses within an iteration,
+ * and identical address sequences across iterations.
+ */
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "hyp/hypervisor.h"
+#include "runtime/launcher.h"
+#include "runtime/machine.h"
+#include "workload/model_zoo.h"
+
+using namespace vnpu;
+using runtime::LaunchOptions;
+using runtime::Machine;
+using runtime::WorkloadLauncher;
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "Global-memory address trace, ResNet on 4 cores");
+
+    Machine m(SocConfig::Fpga());
+    m.enable_trace();
+    hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+    hyp::VnpuSpec spec;
+    spec.num_cores = 4;
+    spec.memory_bytes = 512ull << 20;
+    virt::VirtualNpu& v = hv.create(spec);
+    WorkloadLauncher l(m);
+    LaunchOptions opt;
+    opt.iterations = 3;
+    opt.force_stream_weights = true;
+    l.run_single(v, workload::resnet18(), opt);
+
+    const mem::MemTraceRecorder& trace = m.trace();
+    // Print a decimated series per core: iteration, tick, address.
+    for (CoreId core : v.cores()) {
+        std::printf("\ncore %d (virtual core %d):\n", core,
+                    static_cast<int>(std::find(v.cores().begin(),
+                                               v.cores().end(), core) -
+                                     v.cores().begin()));
+        bench::row({"iter", "tick", "address"});
+        for (std::uint32_t it = 0; it < 3; ++it) {
+            auto recs = trace.of(core, it);
+            std::size_t step = std::max<std::size_t>(1, recs.size() / 6);
+            for (std::size_t i = 0; i < recs.size(); i += step) {
+                char addr[32];
+                std::snprintf(addr, sizeof addr, "0x%llx",
+                              static_cast<unsigned long long>(recs[i].va));
+                bench::row({bench::fmt_u(it), bench::fmt_u(recs[i].tick),
+                            addr});
+            }
+        }
+    }
+
+    std::printf("\nPattern-2 (monotonic within iteration): %s\n",
+                trace.monotonic_within_iterations() ? "HOLDS" : "violated");
+    std::printf("Pattern-3 (repeats across iterations): %s\n",
+                trace.repeating_across_iterations() ? "HOLDS" : "violated");
+    std::printf("total DMA records: %zu\n", trace.records().size());
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 12: latency of NPU instruction dispatch via the vRouter —
+ * IBUS vs dedicated instruction NoC to cores 1..8 — compared with the
+ * execution time of convolution and matmul kernels. Paper result:
+ * kernel execution is 2-3 orders of magnitude longer than routing.
+ */
+
+#include "bench_util.h"
+#include "core/compute.h"
+#include "core/controller.h"
+#include "noc/topology.h"
+#include "sim/config.h"
+
+using namespace vnpu;
+
+int
+main()
+{
+    bench::banner("Figure 12",
+                  "Instruction dispatch latency vs kernel execution time");
+
+    SocConfig cfg = SocConfig::Fpga();
+    noc::MeshTopology topo(cfg.mesh_x, cfg.mesh_y);
+    core::NpuController ctrl(cfg, topo);
+    core::ComputeModel cm(cfg);
+
+    bench::row({"target", "latency(clk)"});
+    bench::row({"IBUS", bench::fmt_u(ctrl.dispatch_cost(
+                            0, core::DispatchVia::kIbus))});
+    for (int c = 0; c < cfg.num_cores(); ++c) {
+        bench::row({"NoC#" + std::to_string(c + 1),
+                    bench::fmt_u(ctrl.dispatch_cost(
+                        c, core::DispatchVia::kInoc))});
+    }
+
+    // Kernel execution times for scale (the paper's right-hand bars).
+    core::KernelCost conv = cm.conv(32, 32, 16, 16, 3);
+    core::KernelCost mm = cm.matmul(128, 128, 128);
+    bench::row({"Conv", bench::fmt_u(conv.cycles)});
+    bench::row({"Matmul", bench::fmt_u(mm.cycles)});
+
+    double worst_dispatch = static_cast<double>(
+        ctrl.dispatch_cost(cfg.num_cores() - 1, core::DispatchVia::kInoc));
+    std::printf("\nkernel/dispatch ratio: conv %.0fx, matmul %.0fx "
+                "(paper: 2-3 orders of magnitude)\n",
+                conv.cycles / worst_dispatch, mm.cycles / worst_dispatch);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figures 17/18: topology-mapping strategies — similar-topology (vNPU)
+ * vs straightforward zig-zag — on a partially occupied 36-core chip.
+ * Reports FPS across core counts for ResNet18/34 and GPT2-s, plus the
+ * realized topology edit distances. Paper result: similar mapping wins
+ * by ~40% for ResNet at 28 cores, ~6% at 11 cores; GPT is insensitive
+ * (zig-zag reaches ~89% of vNPU).
+ */
+
+#include "bench_util.h"
+#include "hyp/hypervisor.h"
+#include "runtime/launcher.h"
+#include "runtime/machine.h"
+#include "workload/model_zoo.h"
+
+using namespace vnpu;
+using hyp::MappingStrategy;
+using runtime::LaunchOptions;
+using runtime::LaunchResult;
+using runtime::Machine;
+using runtime::WorkloadLauncher;
+
+namespace {
+
+/** Pre-occupy the corners as in Figure 17 (red nodes). */
+void
+occupy_corners(hyp::Hypervisor& hv)
+{
+    hyp::VnpuSpec corner;
+    corner.topo = graph::Graph::mesh(2, 2);
+    corner.strategy = MappingStrategy::kExact;
+    hv.create(corner); // upper-left 2x2
+    hyp::VnpuSpec corner2;
+    corner2.topo = graph::Graph::mesh(2, 2);
+    corner2.strategy = MappingStrategy::kSimilarTopology;
+    // Consume the bottom-right by requesting with only that corner
+    // free is overkill; a second 2x2 lands elsewhere deterministically.
+    hv.create(corner2);
+}
+
+LaunchResult
+run_strategy(const std::string& model, int cores, MappingStrategy strat)
+{
+    Machine m(SocConfig::Sim());
+    hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+    occupy_corners(hv);
+
+    hyp::VnpuSpec spec;
+    spec.num_cores = cores;
+    spec.memory_bytes = 4ull << 30;
+    spec.strategy = strat;
+    spec.noc_isolation = (strat != MappingStrategy::kStraightforward);
+    virt::VirtualNpu& v = hv.create(spec);
+    WorkloadLauncher l(m);
+    LaunchOptions opt;
+    // Latency-critical single-stream inference (Figure 18's core
+    // traces show per-iteration COMP/SEND/RECEIVE bubbles): one
+    // request at a time flows through the pipeline, so every extra
+    // hop of a scattered mapping lands on the critical path.
+    opt.iterations = 8;
+    opt.single_stream = true;
+    return l.run_single(v, workload::by_name(model), opt);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 17/18",
+                  "Similar-topology vs straightforward (zig-zag) mapping");
+
+    for (const char* model : {"resnet18", "resnet34", "gpt2-s"}) {
+        std::printf("\n%s\n", model);
+        bench::row({"cores", "vNPU fps", "zigzag fps", "gain", "TED v",
+                    "TED z"}, 12);
+        for (int cores : {9, 11, 13, 16, 24, 28}) {
+            LaunchResult sim = run_strategy(
+                model, cores, MappingStrategy::kSimilarTopology);
+            LaunchResult zig = run_strategy(
+                model, cores, MappingStrategy::kStraightforward);
+            bench::row({bench::fmt_u(cores), bench::fmt(sim.fps, 1),
+                        bench::fmt(zig.fps, 1),
+                        bench::fmt(100 * (sim.fps / zig.fps - 1), 1) + "%",
+                        bench::fmt(sim.mapping_ted, 0),
+                        bench::fmt(zig.mapping_ted, 0)},
+                       12);
+        }
+    }
+    std::printf("\npaper: ResNet ~40%% gain at 28 cores, ~6%% at 11; "
+                "GPT zig-zag reaches ~89%% of the vNPU mapping.\n");
+    return 0;
+}

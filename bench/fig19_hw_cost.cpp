@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 19: hardware resource cost of NPU virtualization — vNPU
+ * (vRouter + vChunk) vs Kim's UVM-based design (page IOTLB + walker),
+ * as percentages over the baseline NPU controller and core.
+ *
+ * Substitution note (see DESIGN.md): FPGA synthesis is unavailable, so
+ * resources are estimated analytically from storage bits and match
+ * logic. The figure's claim is relative (~2% additions; a 128-entry
+ * routing table is nearly free), which the estimates preserve.
+ */
+
+#include "bench_util.h"
+#include "virt/hw_cost.h"
+
+using namespace vnpu;
+using namespace vnpu::virt;
+
+int
+main()
+{
+    bench::banner("Figure 19", "Hardware resource cost of virtualization");
+
+    HwCost base_ctrl = baseline_controller_cost();
+    HwCost base_core = baseline_core_cost(16);
+
+    HwCost vnpu_ctrl = inst_vrouter_cost(128);
+    HwCost vnpu_core = noc_vrouter_cost();
+    vnpu_core += vchunk_cost(4);
+
+    HwCost kim_ctrl = uvm_mmu_cost(32); // controller-side IOMMU
+    HwCost kim_core = uvm_mmu_cost(4);  // per-core IOTLB
+
+    auto print = [](const char* what, const HwCost& base,
+                    const HwCost& extra) {
+        HwOverhead oh = overhead(base, extra);
+        bench::row({what, bench::fmt(oh.luts_pct, 2) + "%",
+                    bench::fmt(oh.lutrams_pct, 2) + "%",
+                    bench::fmt(oh.ffs_pct, 2) + "%",
+                    bench::fmt_u(extra.bits)},
+                   18);
+    };
+
+    bench::row({"component", "LUTs", "LUTRAMs", "FFs", "bits"}, 18);
+    print("controller(Kim's)", base_ctrl, kim_ctrl);
+    print("controller(vNPU)", base_ctrl, vnpu_ctrl);
+    print("core(Kim's)", base_core, kim_core);
+    print("core(vNPU)", base_core, vnpu_core);
+
+    HwCost rt = routing_table_cost(128);
+    std::printf("\n128-entry routing table alone: %.0f LUTs, %.0f "
+                "LUTRAMs, %.0f FFs (%llu bits) — near-zero vs a %.0f-LUT "
+                "controller.\n",
+                rt.luts, rt.lutrams, rt.ffs,
+                static_cast<unsigned long long>(rt.bits), base_ctrl.luts);
+    std::printf("paper: both designs add ~2%% LUTs/FFs.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the performance-critical
+ * simulator kernels: graph edit distance, connected-subset
+ * enumeration, range-TLB translation, page-TLB translation, buddy
+ * allocation, and NoC sends. These bound the wall-clock cost of the
+ * figure harnesses (the hypervisor's mapper evaluates hundreds of
+ * candidates per allocation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graph/enumerate.h"
+#include "graph/ged.h"
+#include "graph/graph.h"
+#include "hyp/topology_mapper.h"
+#include "mem/buddy_allocator.h"
+#include "mem/page_tlb.h"
+#include "mem/range_table.h"
+#include "noc/network.h"
+#include "sim/rng.h"
+
+using namespace vnpu;
+
+static void
+BM_ExactGed(benchmark::State& state)
+{
+    int n = static_cast<int>(state.range(0));
+    graph::Graph a = graph::Graph::chain(n);
+    graph::Graph b = graph::Graph::ring(n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(graph::exact_ged(a, b).cost);
+}
+BENCHMARK(BM_ExactGed)->Arg(5)->Arg(7)->Arg(9);
+
+static void
+BM_ApproxGed(benchmark::State& state)
+{
+    int n = static_cast<int>(state.range(0));
+    graph::Graph a = hyp::TopologyMapper::snake_topology(n);
+    graph::Graph b = graph::Graph::mesh(n / 4, 4);
+    if (b.num_nodes() != n)
+        b = graph::Graph::chain(n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(graph::approx_ged(a, b).cost);
+}
+BENCHMARK(BM_ApproxGed)->Arg(12)->Arg(24)->Arg(36);
+
+static void
+BM_EnumerateConnected(benchmark::State& state)
+{
+    graph::Graph mesh = graph::Graph::mesh(6, 6);
+    graph::NodeMask all = (graph::NodeMask{1} << 36) - 1;
+    int k = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        std::uint64_t n = graph::count_connected_subsets(mesh, k, all,
+                                                         100000);
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_EnumerateConnected)->Arg(4)->Arg(6)->Arg(8);
+
+static void
+BM_RangeTlbHit(benchmark::State& state)
+{
+    SocConfig cfg = SocConfig::Fpga();
+    mem::RangeTable rtt;
+    for (int i = 0; i < 16; ++i)
+        rtt.add(0x10000 + i * 0x100000, i * 0x100000, 0x100000,
+                mem::kPermRead);
+    rtt.finalize();
+    mem::RangeTlbTranslator tlb(cfg, rtt, 4);
+    tlb.translate(0x10000, 64, mem::kPermRead);
+    Addr a = 0x10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tlb.translate(a, 64, mem::kPermRead).pa);
+        a = 0x10000 + ((a + 64) & 0xFFFF);
+    }
+}
+BENCHMARK(BM_RangeTlbHit);
+
+static void
+BM_PageTlbStream(benchmark::State& state)
+{
+    SocConfig cfg = SocConfig::Fpga();
+    mem::PageTable pt(cfg.page_bytes);
+    pt.map_range(0x10000, 0, 64ull << 20, mem::kPermRead);
+    mem::PageTlbTranslator tlb(cfg, pt, static_cast<int>(state.range(0)));
+    Addr a = 0x10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tlb.translate(a, 4096, mem::kPermRead).stall);
+        a = 0x10000 + ((a + 4096) % (64ull << 20));
+    }
+}
+BENCHMARK(BM_PageTlbStream)->Arg(4)->Arg(32);
+
+static void
+BM_BuddyAllocFree(benchmark::State& state)
+{
+    mem::BuddyAllocator buddy(0, 1ull << 30, 64 << 10);
+    for (auto _ : state) {
+        auto a = buddy.alloc(1 << 20);
+        benchmark::DoNotOptimize(a);
+        buddy.free(*a);
+    }
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+static void
+BM_NocSend(benchmark::State& state)
+{
+    SocConfig cfg = SocConfig::Sim();
+    EventQueue eq;
+    noc::MeshTopology topo(cfg.mesh_x, cfg.mesh_y);
+    noc::Network net(cfg, topo, eq);
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            net.send(t, 0, 35, 64 << 10, 1, 0).delivered);
+        t += 10000;
+    }
+}
+BENCHMARK(BM_NocSend);
+
+static void
+BM_MapperSimilar(benchmark::State& state)
+{
+    noc::MeshTopology topo(6, 6);
+    hyp::TopologyMapper mapper(topo);
+    hyp::MappingRequest req;
+    req.vtopo = hyp::TopologyMapper::snake_topology(
+        static_cast<int>(state.range(0)));
+    req.max_candidates = 64;
+    CoreMask free = ((CoreMask{1} << 36) - 1) & ~CoreMask{0x3};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mapper.map(req, free).ted);
+}
+BENCHMARK(BM_MapperSimilar)->Arg(9)->Arg(16);
+
+BENCHMARK_MAIN();

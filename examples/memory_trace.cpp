@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory-pattern inspector: runs a CNN with streamed weights and shows
+ * the per-core global-memory access patterns that motivate vChunk
+ * (paper §4.2, Figure 6), plus the range-TLB statistics that result.
+ *
+ *   $ ./memory_trace
+ */
+
+#include <cstdio>
+
+#include "hyp/hypervisor.h"
+#include "runtime/launcher.h"
+#include "runtime/machine.h"
+#include "workload/model_zoo.h"
+
+using namespace vnpu;
+
+int
+main()
+{
+    runtime::Machine m(SocConfig::Fpga());
+    m.enable_trace();
+    hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+
+    hyp::VnpuSpec spec;
+    spec.num_cores = 4;
+    spec.memory_bytes = 512ull << 20;
+    virt::VirtualNpu& v = hv.create(spec);
+
+    runtime::WorkloadLauncher launcher(m);
+    runtime::LaunchOptions opt;
+    opt.iterations = 3;
+    opt.force_stream_weights = true; // weights re-streamed per iteration
+    runtime::LoadedRun run =
+        launcher.load(v, workload::resnet_block(16, 64), opt);
+    m.run();
+    launcher.collect(run);
+
+    const mem::MemTraceRecorder& trace = m.trace();
+    std::printf("recorded %zu DMA transfers across %d cores / 3 "
+                "iterations\n\n",
+                trace.records().size(), v.num_cores());
+
+    // Show the first few accesses of each iteration on virtual core 0.
+    CoreId core0 = v.phys_of(0);
+    for (std::uint32_t it = 0; it < 3; ++it) {
+        auto recs = trace.of(core0, it);
+        std::printf("core %d, iteration %u (%zu transfers):\n", core0, it,
+                    recs.size());
+        for (std::size_t i = 0; i < recs.size() && i < 4; ++i) {
+            std::printf("   tick %8llu  va 0x%-8llx  %llu bytes\n",
+                        static_cast<unsigned long long>(recs[i].tick),
+                        static_cast<unsigned long long>(recs[i].va),
+                        static_cast<unsigned long long>(recs[i].bytes));
+        }
+    }
+
+    std::printf("\nPattern-1: transfers are tensor-granular chunks "
+                "(64 KiB DMA descriptors)\n");
+    std::printf("Pattern-2 (monotonic within iteration): %s\n",
+                trace.monotonic_within_iterations() ? "holds" : "violated");
+    std::printf("Pattern-3 (identical across iterations): %s\n",
+                trace.repeating_across_iterations() ? "holds" : "violated");
+
+    // What vChunk made of it.
+    std::uint64_t hits = 0, misses = 0, lastv = 0;
+    for (const auto& vc : run.vchunks) {
+        hits += vc->tlb().hits();
+        misses += vc->tlb().misses();
+        lastv += vc->tlb().last_v_hits();
+    }
+    std::printf("\nrange-TLB: %llu hits, %llu misses (%llu resolved by "
+                "last_v in one fetch)\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(lastv));
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Multi-tenant serving: two tenants (GPT2-s and ResNet-34) share one
+ * 36-core chip under vNPU, with per-tenant FPS, utilization and
+ * isolation statistics — the paper's headline use case.
+ *
+ *   $ ./multi_tenant
+ */
+
+#include <cstdio>
+
+#include "hyp/hypervisor.h"
+#include "runtime/launcher.h"
+#include "runtime/machine.h"
+#include "workload/model_zoo.h"
+
+using namespace vnpu;
+
+int
+main()
+{
+    runtime::Machine m(SocConfig::Sim());
+    hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+
+    // Tenant A: a 12-core vNPU for GPT2-small.
+    hyp::VnpuSpec sa;
+    sa.num_cores = 12;
+    sa.memory_bytes = 2ull << 30;
+    virt::VirtualNpu& va = hv.create(sa);
+
+    // Tenant B: a 24-core vNPU for ResNet-34.
+    hyp::VnpuSpec sb;
+    sb.num_cores = 24;
+    sb.memory_bytes = 2ull << 30;
+    virt::VirtualNpu& vb = hv.create(sb);
+
+    std::printf("chip utilization after allocation: %.0f%% (%d cores "
+                "free)\n\n",
+                100 * hv.core_utilization(), hv.num_free_cores());
+
+    runtime::WorkloadLauncher launcher(m);
+    runtime::LaunchOptions opt;
+    opt.iterations = 40;
+
+    workload::Model gpt = workload::gpt2(workload::Gpt2Size::kSmall, 128);
+    gpt.set_weight_precision(1); // int8 serving
+    workload::Model resnet = workload::resnet34();
+    resnet.set_weight_precision(1);
+
+    runtime::LoadedRun ra = launcher.load(va, gpt, opt);
+    runtime::LoadedRun rb = launcher.load(vb, resnet, opt);
+    m.run();
+    runtime::LaunchResult a = launcher.collect(ra);
+    runtime::LaunchResult b = launcher.collect(rb);
+
+    auto report = [&](const char* name, const virt::VirtualNpu& v,
+                      const runtime::LaunchResult& r) {
+        std::printf("%s on vNPU %d (%d cores, %d mem interfaces):\n",
+                    name, v.vm(), v.num_cores(), v.interfaces());
+        std::printf("  throughput      : %.1f inferences/s\n", r.fps);
+        std::printf("  warm-up         : %llu cycles\n",
+                    static_cast<unsigned long long>(r.warmup));
+        std::printf("  FLOPS util      : %.1f%%\n",
+                    100 * r.flops_utilization);
+        std::printf("  translation stall: %llu cycles (vChunk)\n",
+                    static_cast<unsigned long long>(r.translation_stall));
+        std::printf("  mapping TED     : %.0f\n\n", r.mapping_ted);
+    };
+    report("GPT2-s", va, a);
+    report("ResNet-34", vb, b);
+
+    std::printf("NoC links carrying traffic from more than one tenant: "
+                "%d (confined routing keeps tenants apart)\n",
+                m.network().interference_links());
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * NoC interference demo (paper §4.1.2): two virtual NPUs exchange
+ * traffic inside their own regions. With default dimension-order
+ * routing, one tenant's packets cut through the other's region; with
+ * the routing-table direction overrides, traffic stays confined and
+ * interference disappears. Also demonstrates the vChunk bandwidth cap.
+ *
+ *   $ ./noc_isolation
+ */
+
+#include <cstdio>
+
+#include "hyp/hypervisor.h"
+#include "runtime/launcher.h"
+#include "runtime/machine.h"
+#include "workload/model_zoo.h"
+
+using namespace vnpu;
+
+namespace {
+
+/** Run two L-shaped tenants with or without confined routing. */
+int
+interference(bool isolate)
+{
+    runtime::Machine m(SocConfig::Sim());
+    hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+
+    // Two interleaved 6-core tenants whose XY paths cross.
+    hyp::VnpuSpec spec;
+    spec.num_cores = 6;
+    spec.memory_bytes = 1ull << 30;
+    spec.noc_isolation = isolate;
+    virt::VirtualNpu& va = hv.create(spec);
+    virt::VirtualNpu& vb = hv.create(spec);
+
+    runtime::WorkloadLauncher l(m);
+    runtime::LaunchOptions opt;
+    opt.iterations = 10;
+    runtime::LoadedRun ra =
+        l.load(va, workload::transformer_block(256, 32), opt);
+    runtime::LoadedRun rb =
+        l.load(vb, workload::transformer_block(256, 32), opt);
+    m.run();
+    l.collect(ra);
+    l.collect(rb);
+    return m.network().interference_links();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("--- NoC interference: default DOR vs confined routing "
+                "---\n");
+    int dor = interference(false);
+    int confined = interference(true);
+    std::printf("links shared between tenants, default DOR : %d\n", dor);
+    std::printf("links shared between tenants, confined    : %d\n",
+                confined);
+
+    std::printf("\n--- vChunk memory-bandwidth caps ---\n");
+    // One tenant capped at 1/4 of its fair share: warm-up stretches,
+    // proving the access counter throttles the VM's aggregate rate.
+    for (double cap : {240.0, 60.0}) {
+        runtime::Machine m(SocConfig::Sim());
+        hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+        hyp::VnpuSpec spec;
+        spec.num_cores = 6;
+        spec.memory_bytes = 1ull << 30;
+        spec.bw_cap = cap;
+        virt::VirtualNpu& v = hv.create(spec);
+        runtime::WorkloadLauncher l(m);
+        runtime::LaunchOptions opt;
+        opt.iterations = 4;
+        runtime::LaunchResult r =
+            l.run_single(v, workload::transformer_block(512, 64), opt);
+        std::printf("cap %5.0f B/cycle -> warm-up %8llu cycles\n", cap,
+                    static_cast<unsigned long long>(r.warmup));
+    }
+    std::printf("\nthe hypervisor sets caps proportional to each vNPU's "
+                "memory interfaces unless overridden.\n");
+    return 0;
+}

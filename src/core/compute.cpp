@@ -1,0 +1,50 @@
+#include "core/compute.h"
+
+#include "sim/log.h"
+
+namespace vnpu::core {
+
+KernelCost
+ComputeModel::matmul(std::int64_t m, std::int64_t k, std::int64_t n) const
+{
+    VNPU_ASSERT(m > 0 && k > 0 && n > 0);
+    const std::int64_t d = sa_dim_;
+    std::int64_t tiles = ceil_div(m, d) * ceil_div(n, d);
+    Cycles cycles = static_cast<Cycles>(tiles * (k + d) + d);
+    std::uint64_t flops = 2ull * m * k * n;
+    return {cycles, flops};
+}
+
+KernelCost
+ComputeModel::conv(std::int64_t oh, std::int64_t ow, std::int64_t cin,
+                   std::int64_t cout, std::int64_t ksize) const
+{
+    VNPU_ASSERT(oh > 0 && ow > 0 && cin > 0 && cout > 0 && ksize > 0);
+    KernelCost mm = matmul(oh * ow, cin * ksize * ksize, cout);
+    mm.cycles += mm.cycles / 10; // im2col rearrangement overhead
+    return mm;
+}
+
+KernelCost
+ComputeModel::vector_op(std::int64_t elems) const
+{
+    VNPU_ASSERT(elems > 0);
+    Cycles cycles = static_cast<Cycles>(ceil_div(elems, lanes_));
+    return {cycles, static_cast<std::uint64_t>(elems)};
+}
+
+KernelCost
+ComputeModel::cost(const ComputeDims& dims) const
+{
+    switch (dims.kind) {
+      case ComputeKind::kMatmul:
+        return matmul(dims.m, dims.k, dims.n);
+      case ComputeKind::kConv:
+        return conv(dims.oh, dims.ow, dims.cin, dims.cout, dims.ksize);
+      case ComputeKind::kVector:
+        return vector_op(dims.elems);
+    }
+    panic("unknown compute kind");
+}
+
+} // namespace vnpu::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Timing model of the NPU core's compute units: an output-stationary
+ * systolic array (Gemmini-like) and a vector unit.
+ */
+
+#ifndef VNPU_CORE_COMPUTE_H
+#define VNPU_CORE_COMPUTE_H
+
+#include <cstdint>
+
+#include "core/isa.h"
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace vnpu::core {
+
+/** Cycles and useful work of a kernel execution. */
+struct KernelCost {
+    Cycles cycles = 0;
+    std::uint64_t flops = 0; ///< multiply-accumulate counted as 2 FLOPs
+};
+
+/** Per-core compute timing model. */
+class ComputeModel {
+  public:
+    explicit ComputeModel(const SocConfig& cfg)
+        : sa_dim_(cfg.sa_dim), lanes_(cfg.vector_lanes)
+    {
+    }
+
+    /**
+     * m x k @ k x n matmul on a D x D output-stationary systolic array:
+     * each output tile streams k partial sums; tiles pipeline with a
+     * D-cycle drain between them plus one final drain.
+     */
+    KernelCost matmul(std::int64_t m, std::int64_t k, std::int64_t n) const;
+
+    /**
+     * Convolution lowered to im2col matmul (M = oh*ow, K = cin*k^2,
+     * N = cout) plus a 10% scratchpad-manager rearrangement overhead.
+     */
+    KernelCost conv(std::int64_t oh, std::int64_t ow, std::int64_t cin,
+                    std::int64_t cout, std::int64_t ksize) const;
+
+    /** Elementwise / reduction op on the vector unit. */
+    KernelCost vector_op(std::int64_t elems) const;
+
+    /** Dispatch on a ComputeDims payload. */
+    KernelCost cost(const ComputeDims& dims) const;
+
+    int sa_dim() const { return sa_dim_; }
+
+  private:
+    std::int64_t
+    ceil_div(std::int64_t a, std::int64_t b) const
+    {
+        return (a + b - 1) / b;
+    }
+
+    int sa_dim_;
+    int lanes_;
+};
+
+} // namespace vnpu::core
+
+#endif // VNPU_CORE_COMPUTE_H

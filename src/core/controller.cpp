@@ -1,0 +1,82 @@
+#include "core/controller.h"
+
+#include "sim/log.h"
+
+namespace vnpu::core {
+
+NpuController::NpuController(const SocConfig& cfg,
+                             const noc::MeshTopology& topo)
+    : cfg_(cfg), topo_(topo)
+{
+}
+
+Cycles
+NpuController::configure_routing_table(VmId vm, int num_cores)
+{
+    if (!hyper_mode_)
+        panic("routing-table configuration requires hyper mode (vm ", vm,
+              ")");
+    if (num_cores <= 0)
+        fatal("routing table needs at least one core");
+    // Query availability of each core, then write one entry per core.
+    return static_cast<Cycles>(num_cores) *
+           (cfg_.rt_config_query_cycles + cfg_.rt_config_write_cycles);
+}
+
+Cycles
+NpuController::teardown_tables(VmId vm)
+{
+    if (!hyper_mode_)
+        panic("table teardown requires hyper mode");
+    auto it = meta_bytes_.find(vm);
+    std::uint64_t entries = it == meta_bytes_.end() ? 0 : it->second / 18;
+    meta_bytes_.erase(vm);
+    return static_cast<Cycles>(entries) * cfg_.rt_config_write_cycles;
+}
+
+void
+NpuController::deploy_meta_bytes(VmId vm, std::uint64_t bytes)
+{
+    if (!hyper_mode_)
+        panic("meta-table deployment requires hyper mode");
+    meta_bytes_[vm] = bytes;
+}
+
+std::uint64_t
+NpuController::meta_bytes(VmId vm) const
+{
+    auto it = meta_bytes_.find(vm);
+    return it == meta_bytes_.end() ? 0 : it->second;
+}
+
+Cycles
+NpuController::dispatch_cost(CoreId core, DispatchVia via) const
+{
+    VNPU_ASSERT(topo_.valid(core));
+    if (via == DispatchVia::kIbus)
+        return cfg_.ibus_dispatch_cycles;
+    // Controller attaches next to node 0 (north-west corner): one
+    // injection plus per-hop traversal.
+    int hops = 1 + topo_.hop_distance(0, core);
+    return cfg_.inoc_inject_cycles +
+           static_cast<Cycles>(hops) * cfg_.inoc_hop_cycles;
+}
+
+Cycles
+NpuController::dispatch_cost_virtual(VmId vm, CoreId vcore, CoreId pcore,
+                                     DispatchVia via)
+{
+    ++rt_lookups_;
+    Cycles xlat;
+    if (vm == last_vm_ && vcore == last_vcore_) {
+        ++rt_hits_;
+        xlat = cfg_.rt_cached_cycles;
+    } else {
+        xlat = cfg_.rt_lookup_cycles;
+        last_vm_ = vm;
+        last_vcore_ = vcore;
+    }
+    return xlat + dispatch_cost(pcore, via);
+}
+
+} // namespace vnpu::core

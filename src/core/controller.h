@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The NPU controller: hyper mode, meta-table configuration timing, and
+ * instruction-dispatch latency (IBUS vs instruction NoC).
+ *
+ * Only the hyper-mode controller may touch virtualization meta tables
+ * (routing tables, range translation tables) — guest contexts cannot
+ * (paper §5.1). The controller also models the cost of configuring a
+ * routing table at vNPU creation (Figure 11) and of dispatching an NPU
+ * instruction to a core (Figure 12).
+ */
+
+#ifndef VNPU_CORE_CONTROLLER_H
+#define VNPU_CORE_CONTROLLER_H
+
+#include <cstdint>
+#include <map>
+
+#include "noc/topology.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace vnpu::core {
+
+/** Instruction dispatch transport. */
+enum class DispatchVia {
+    kIbus,  ///< Shared instruction bus: fixed latency, poor scalability.
+    kInoc,  ///< Dedicated instruction NoC: per-hop latency from node 0.
+};
+
+/** The centralized NPU controller. */
+class NpuController {
+  public:
+    NpuController(const SocConfig& cfg, const noc::MeshTopology& topo);
+
+    // ---- Hyper mode ---------------------------------------------------
+    /** Enter/leave hyper mode (CPU-side hypervisor only). */
+    void set_hyper_mode(bool enabled) { hyper_mode_ = enabled; }
+    bool hyper_mode() const { return hyper_mode_; }
+
+    // ---- Meta-table configuration (hyper mode required) ---------------
+    /**
+     * Cost of creating a routing table covering `num_cores` cores:
+     * per-core availability query plus per-entry table write
+     * (Figure 11: a few hundred cycles).
+     * @throws SimPanic when not in hyper mode.
+     */
+    Cycles configure_routing_table(VmId vm, int num_cores);
+
+    /** Cost of tearing down a VM's tables. */
+    Cycles teardown_tables(VmId vm);
+
+    /** Record meta-table residency for accounting (hyper mode). */
+    void deploy_meta_bytes(VmId vm, std::uint64_t bytes);
+    std::uint64_t meta_bytes(VmId vm) const;
+
+    // ---- Instruction dispatch ------------------------------------------
+    /**
+     * Latency of dispatching one instruction from the controller to
+     * `core`. The controller sits at the north-west mesh corner; the
+     * instruction NoC pays per-hop latency, the IBUS a fixed latency.
+     */
+    Cycles dispatch_cost(CoreId core, DispatchVia via) const;
+
+    /**
+     * Dispatch cost including the routing-table redirection: the first
+     * instruction to a (vm, virtual core) pays a lookup; consecutive
+     * instructions to the same target hit the cached translation.
+     */
+    Cycles dispatch_cost_virtual(VmId vm, CoreId vcore, CoreId pcore,
+                                 DispatchVia via);
+
+    const Counter& rt_lookups() const { return rt_lookups_; }
+    const Counter& rt_lookup_hits() const { return rt_hits_; }
+
+  private:
+    const SocConfig& cfg_;
+    const noc::MeshTopology& topo_;
+    bool hyper_mode_ = false;
+    std::map<VmId, std::uint64_t> meta_bytes_;
+    VmId last_vm_ = kNoVm;
+    CoreId last_vcore_ = kInvalidCore;
+    Counter rt_lookups_;
+    Counter rt_hits_;
+};
+
+} // namespace vnpu::core
+
+#endif // VNPU_CORE_CONTROLLER_H

@@ -1,0 +1,164 @@
+#include "graph/enumerate.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace vnpu::graph {
+
+namespace {
+
+/**
+ * Recursive exclusive-neighborhood expansion. `sub` is the current
+ * connected set; `ext` are nodes that may still be added (all > root in
+ * id order or discovered through the subgraph), guaranteeing each vertex
+ * set is generated exactly once.
+ */
+struct Enumerator {
+    const Graph& g;
+    int k;
+    NodeMask allowed;
+    const std::function<bool(NodeMask)>& cb;
+    std::uint64_t max_results;
+    std::uint64_t step_budget;
+    std::uint64_t produced = 0;
+    std::uint64_t steps = 0;
+    bool stopped = false;
+
+    NodeMask
+    neighborhood(NodeMask set) const
+    {
+        NodeMask nb = 0;
+        NodeMask m = set;
+        while (m) {
+            int v = __builtin_ctzll(m);
+            m &= m - 1;
+            nb |= g.neighbors(v);
+        }
+        return nb & ~set;
+    }
+
+    void
+    extend(NodeMask sub, NodeMask ext, NodeMask forbidden)
+    {
+        if (stopped)
+            return;
+        // When results are capped, also bound the search-tree walk:
+        // for k close to |allowed| the output set is tiny but the DFS
+        // tree of smaller connected subsets is exponential.
+        if (++steps > step_budget) {
+            stopped = true;
+            return;
+        }
+        if (__builtin_popcountll(sub) == k) {
+            ++produced;
+            if (!cb(sub) || produced >= max_results)
+                stopped = true;
+            return;
+        }
+        while (ext && !stopped) {
+            int w = __builtin_ctzll(ext);
+            ext &= ext - 1;
+            NodeMask wbit = NodeMask{1} << w;
+            // Nodes considered at this level may not be re-added deeper:
+            // they become forbidden, which removes duplicates.
+            NodeMask new_forbidden = forbidden | wbit | ext;
+            NodeMask new_sub = sub | wbit;
+            NodeMask new_ext =
+                (ext | (g.neighbors(w) & allowed & ~new_forbidden)) & ~wbit;
+            extend(new_sub, new_ext, new_forbidden);
+            forbidden |= wbit;
+        }
+    }
+};
+
+} // namespace
+
+std::uint64_t
+enumerate_connected_subsets(const Graph& g, int k, NodeMask allowed,
+                            const std::function<bool(NodeMask)>& cb,
+                            std::uint64_t max_results)
+{
+    if (k <= 0 || k > g.num_nodes())
+        return 0;
+    std::uint64_t step_budget =
+        max_results == UINT64_MAX
+            ? UINT64_MAX
+            : std::max<std::uint64_t>(1'000'000, max_results * 256);
+    Enumerator e{g, k, allowed, cb, max_results, step_budget};
+    NodeMask todo = allowed;
+    while (todo && !e.stopped) {
+        int root = __builtin_ctzll(todo);
+        todo &= todo - 1;
+        NodeMask rbit = NodeMask{1} << root;
+        // Roots are processed in ascending order; previously processed
+        // roots are excluded so each subset is found from its min node.
+        NodeMask forbidden = (rbit - 1) | rbit;
+        NodeMask ext = g.neighbors(root) & allowed & ~forbidden;
+        e.extend(rbit, ext, forbidden);
+    }
+    return e.produced;
+}
+
+std::uint64_t
+count_connected_subsets(const Graph& g, int k, NodeMask allowed,
+                        std::uint64_t cap)
+{
+    return enumerate_connected_subsets(
+        g, k, allowed, [](NodeMask) { return true; }, cap);
+}
+
+std::vector<NodeMask>
+sample_connected_subsets(const Graph& g, int k, NodeMask allowed, int samples,
+                         Rng& rng)
+{
+    std::vector<NodeMask> out;
+    if (k <= 0 || __builtin_popcountll(allowed) < k)
+        return out;
+
+    std::vector<int> seeds = Graph::mask_to_nodes(allowed);
+    for (int s = 0; s < samples; ++s) {
+        int seed = seeds[s % seeds.size()];
+        NodeMask sub = NodeMask{1} << seed;
+        // Randomized growth: repeatedly add a random frontier node.
+        while (__builtin_popcountll(sub) < k) {
+            NodeMask frontier = 0;
+            NodeMask m = sub;
+            while (m) {
+                int v = __builtin_ctzll(m);
+                m &= m - 1;
+                frontier |= g.neighbors(v);
+            }
+            frontier &= allowed & ~sub;
+            if (!frontier)
+                break; // dead end; try next seed
+            std::vector<int> choices = Graph::mask_to_nodes(frontier);
+            sub |= NodeMask{1} << choices[rng.next_below(choices.size())];
+        }
+        if (__builtin_popcountll(sub) == k)
+            out.push_back(sub);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::uint64_t
+binomial(std::uint64_t n, std::uint64_t k)
+{
+    if (k > n)
+        return 0;
+    k = std::min(k, n - k);
+    // 128-bit intermediates: C(n, i) * num can exceed 64 bits even when
+    // the final value fits.
+    unsigned __int128 result = 1;
+    for (std::uint64_t i = 1; i <= k; ++i) {
+        std::uint64_t num = n - k + i;
+        result = result * num / i;
+        if (result > static_cast<unsigned __int128>(UINT64_MAX))
+            return UINT64_MAX;
+    }
+    return static_cast<std::uint64_t>(result);
+}
+
+} // namespace vnpu::graph

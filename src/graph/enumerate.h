@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Enumeration of connected induced subgraphs (candidate vNPU regions).
+ *
+ * The hypervisor's topology mapper needs "all candidate NPU topologies
+ * with the required number of cores" (Algorithm 1). Exhaustive
+ * enumeration is exponential, so we provide both an exact enumerator
+ * (each connected vertex set reported exactly once) and a deterministic
+ * seeded-growth sampler for large instances.
+ */
+
+#ifndef VNPU_GRAPH_ENUMERATE_H
+#define VNPU_GRAPH_ENUMERATE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/rng.h"
+
+namespace vnpu::graph {
+
+/**
+ * Enumerate every connected vertex subset of size `k` contained in
+ * `allowed`, invoking `cb` for each. Each subset is reported exactly
+ * once (Wernicke-style exclusive-neighborhood expansion). Enumeration
+ * stops early when `cb` returns false or `max_results` subsets have
+ * been produced.
+ *
+ * @return the number of subsets reported.
+ */
+std::uint64_t enumerate_connected_subsets(
+    const Graph& g, int k, NodeMask allowed,
+    const std::function<bool(NodeMask)>& cb,
+    std::uint64_t max_results = UINT64_MAX);
+
+/** Count connected subsets of size k (capped at `cap`). */
+std::uint64_t count_connected_subsets(const Graph& g, int k, NodeMask allowed,
+                                      std::uint64_t cap = UINT64_MAX);
+
+/**
+ * Deterministically sample up to `samples` connected size-`k` subsets of
+ * `allowed` by randomized BFS growth from every possible seed node.
+ * Duplicates are removed; the result is sorted for reproducibility.
+ */
+std::vector<NodeMask> sample_connected_subsets(const Graph& g, int k,
+                                               NodeMask allowed, int samples,
+                                               Rng& rng);
+
+/** Binomial coefficient with saturation at UINT64_MAX. */
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+} // namespace vnpu::graph
+
+#endif // VNPU_GRAPH_ENUMERATE_H

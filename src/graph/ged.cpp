@@ -1,0 +1,272 @@
+#include "graph/ged.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "sim/log.h"
+
+namespace vnpu::graph {
+
+namespace {
+
+double
+node_cost_of(const GedOptions& opt, int a, int b)
+{
+    if (opt.node_cost)
+        return opt.node_cost(a, b);
+    return a == b ? 0.0 : 1.0;
+}
+
+double
+edge_del_cost_of(const GedOptions& opt, int u, int v)
+{
+    if (opt.edge_del_cost)
+        return opt.edge_del_cost(u, v);
+    return 1.0;
+}
+
+} // namespace
+
+double
+ged_mapping_cost(const Graph& req, const Graph& cand,
+                 const std::vector<int>& mapping, const GedOptions& opt)
+{
+    VNPU_ASSERT(static_cast<int>(mapping.size()) == req.num_nodes());
+    VNPU_ASSERT(req.num_nodes() == cand.num_nodes());
+
+    double cost = 0.0;
+    for (int v = 0; v < req.num_nodes(); ++v)
+        cost += node_cost_of(opt, req.label(v), cand.label(mapping[v]));
+
+    int matched_edges = 0;
+    for (auto [u, v] : req.edges()) {
+        if (cand.has_edge(mapping[u], mapping[v]))
+            ++matched_edges;
+        else
+            cost += edge_del_cost_of(opt, u, v);
+    }
+    // Candidate edges with no preimage are insertions.
+    int extra = cand.num_edges() - matched_edges;
+    cost += opt.edge_ins_cost * extra;
+    return cost;
+}
+
+namespace {
+
+/** Branch-and-bound exact search over bijections. */
+struct ExactSearch {
+    const Graph& req;
+    const Graph& cand;
+    const GedOptions& opt;
+    int n;
+    std::vector<int> mapping;      // req node -> cand node, -1 unset
+    std::vector<bool> used;        // cand node used
+    std::vector<int> best_mapping;
+    double best = std::numeric_limits<double>::infinity();
+
+    /** Cost contributions of assigning req node v -> cand node c. */
+    double
+    incremental(int v, int c) const
+    {
+        double cost = node_cost_of(opt, req.label(v), cand.label(c));
+        // Edges between v and already-mapped req nodes.
+        for (int u = 0; u < v; ++u) {
+            bool e_req = req.has_edge(u, v);
+            bool e_cand = cand.has_edge(mapping[u], c);
+            if (e_req && !e_cand)
+                cost += edge_del_cost_of(opt, u, v);
+            else if (!e_req && e_cand)
+                cost += opt.edge_ins_cost;
+        }
+        return cost;
+    }
+
+    void
+    dfs(int v, double acc)
+    {
+        if (acc >= best)
+            return;
+        if (v == n) {
+            // Account for candidate edges that involve at least one of
+            // the, by now fully assigned, nodes and were not matched --
+            // already handled incrementally, so acc is complete.
+            best = acc;
+            best_mapping = mapping;
+            return;
+        }
+        for (int c = 0; c < n; ++c) {
+            if (used[c])
+                continue;
+            double inc = incremental(v, c);
+            if (acc + inc >= best)
+                continue;
+            mapping[v] = c;
+            used[c] = true;
+            dfs(v + 1, acc + inc);
+            used[c] = false;
+            mapping[v] = -1;
+        }
+    }
+};
+
+/**
+ * Cost change of swapping the images of req nodes `a` and `b`.
+ * Only node terms of a/b and req edges incident to a or b change; the
+ * edge (a, b) itself is invariant under the swap.
+ */
+double
+swap_delta(const Graph& req, const Graph& cand, const std::vector<int>& map,
+           const GedOptions& opt, int a, int b)
+{
+    double d = 0.0;
+    d -= node_cost_of(opt, req.label(a), cand.label(map[a]));
+    d -= node_cost_of(opt, req.label(b), cand.label(map[b]));
+    d += node_cost_of(opt, req.label(a), cand.label(map[b]));
+    d += node_cost_of(opt, req.label(b), cand.label(map[a]));
+
+    auto edge_terms = [&](int x, int other, int new_img) {
+        NodeMask m = req.neighbors(x);
+        while (m) {
+            int u = __builtin_ctzll(m);
+            m &= m - 1;
+            if (u == other)
+                continue; // edge (a, b): unchanged by the swap
+            bool old_matched = cand.has_edge(map[x], map[u]);
+            // After the swap, u != a and u != b keeps its image.
+            bool new_matched = cand.has_edge(new_img, map[u]);
+            if (old_matched == new_matched)
+                continue;
+            // A req edge losing its image costs one deletion and turns
+            // the orphaned candidate edge into one insertion.
+            double toggle = edge_del_cost_of(opt, std::min(x, u),
+                                             std::max(x, u)) +
+                            opt.edge_ins_cost;
+            d += old_matched ? toggle : -toggle;
+        }
+    };
+    edge_terms(a, b, map[b]);
+    edge_terms(b, a, map[a]);
+    return d;
+}
+
+/** BFS ordering starting from the highest-degree node. */
+std::vector<int>
+bfs_order(const Graph& g, int start)
+{
+    std::vector<int> order;
+    std::vector<bool> seen(g.num_nodes(), false);
+    std::vector<int> queue{start};
+    seen[start] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        int v = queue[head];
+        order.push_back(v);
+        NodeMask m = g.neighbors(v);
+        while (m) {
+            int u = __builtin_ctzll(m);
+            m &= m - 1;
+            if (!seen[u]) {
+                seen[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    // Isolated / unreached nodes go last, in id order.
+    for (int v = 0; v < g.num_nodes(); ++v)
+        if (!seen[v])
+            order.push_back(v);
+    return order;
+}
+
+} // namespace
+
+GedResult
+exact_ged(const Graph& req, const Graph& cand, const GedOptions& opt)
+{
+    VNPU_ASSERT(req.num_nodes() == cand.num_nodes());
+    int n = req.num_nodes();
+    if (n == 0)
+        return {0.0, {}};
+
+    ExactSearch search{req, cand, opt, n,
+                       std::vector<int>(n, -1), std::vector<bool>(n, false),
+                       {}, std::numeric_limits<double>::infinity()};
+    search.dfs(0, 0.0);
+    return {search.best, search.best_mapping};
+}
+
+GedResult
+approx_ged(const Graph& req, const Graph& cand, const GedOptions& opt)
+{
+    VNPU_ASSERT(req.num_nodes() == cand.num_nodes());
+    int n = req.num_nodes();
+    if (n == 0)
+        return {0.0, {}};
+
+    GedResult best;
+    best.cost = std::numeric_limits<double>::infinity();
+
+    // Multiple deterministic seeds: pair BFS orders of both graphs
+    // starting from degree-sorted anchor nodes, then refine with 2-opt.
+    std::vector<int> req_anchors(n), cand_anchors(n);
+    std::iota(req_anchors.begin(), req_anchors.end(), 0);
+    std::iota(cand_anchors.begin(), cand_anchors.end(), 0);
+    auto by_degree_req = [&](int a, int b) {
+        return req.degree(a) > req.degree(b);
+    };
+    auto by_degree_cand = [&](int a, int b) {
+        return cand.degree(a) > cand.degree(b);
+    };
+    std::stable_sort(req_anchors.begin(), req_anchors.end(), by_degree_req);
+    std::stable_sort(cand_anchors.begin(), cand_anchors.end(), by_degree_cand);
+
+    int seeds = std::max(1, opt.approx_seeds);
+    for (int s = 0; s < seeds; ++s) {
+        int ra = req_anchors[s % n];
+        int ca = cand_anchors[s % n];
+        std::vector<int> ro = bfs_order(req, ra);
+        std::vector<int> co = bfs_order(cand, ca);
+
+        std::vector<int> mapping(n);
+        for (int i = 0; i < n; ++i)
+            mapping[ro[i]] = co[i];
+
+        double cost = ged_mapping_cost(req, cand, mapping, opt);
+
+        // Greedy 2-opt hill climbing with incremental deltas.
+        const int max_passes = 24;
+        for (int pass = 0; pass < max_passes; ++pass) {
+            bool improved = false;
+            for (int a = 0; a < n; ++a) {
+                for (int b = a + 1; b < n; ++b) {
+                    double d = swap_delta(req, cand, mapping, opt, a, b);
+                    if (d < -1e-12) {
+                        std::swap(mapping[a], mapping[b]);
+                        cost += d;
+                        improved = true;
+                    }
+                }
+            }
+            if (!improved)
+                break;
+        }
+
+        if (cost < best.cost) {
+            best.cost = cost;
+            best.mapping = mapping;
+        }
+        if (best.cost == 0.0)
+            break; // exact topology match, cannot improve
+    }
+    return best;
+}
+
+GedResult
+ged(const Graph& req, const Graph& cand, const GedOptions& opt)
+{
+    if (req.num_nodes() <= opt.exact_limit)
+        return exact_ged(req, cand, opt);
+    return approx_ged(req, cand, opt);
+}
+
+} // namespace vnpu::graph

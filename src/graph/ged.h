@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Topology (graph) edit distance between equal-size topologies, as used
+ * by the hypervisor's similar-topology mapping (paper §4.3, Algorithm 1).
+ *
+ * Given a requested virtual topology T_req and a candidate physical
+ * subgraph, we search for the node bijection minimizing
+ *
+ *     sum node-substitution costs (NodeMatch)
+ *   + sum edge-deletion costs for T_req edges with no image (EdgeMatch)
+ *   + sum edge-insertion costs for candidate edges with no preimage.
+ *
+ * Exact search (branch and bound) is exponential and used for small
+ * graphs; larger instances use a seeded greedy assignment refined by
+ * 2-opt swaps, mirroring the paper's observation that minimum TED is
+ * NP-hard and must be approximated/pruned.
+ */
+
+#ifndef VNPU_GRAPH_GED_H
+#define VNPU_GRAPH_GED_H
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vnpu::graph {
+
+/** Customizable edit costs (Algorithm 1's NodeMatch / EdgeMatch). */
+struct GedOptions {
+    /**
+     * Cost of mapping a T_req node with label `a` onto a candidate node
+     * with label `b` (node substitution). Default: 0 if equal, 1 if not.
+     */
+    std::function<double(int a, int b)> node_cost;
+
+    /**
+     * Cost of a T_req edge (u, v) that has no image in the candidate
+     * (edge deletion). Critical dataflow edges can return a larger
+     * penalty here. Default: 1.
+     */
+    std::function<double(int u, int v)> edge_del_cost;
+
+    /** Cost of a candidate edge with no preimage (edge insertion). */
+    double edge_ins_cost = 1.0;
+
+    /** Largest graph solved exactly; bigger graphs use approximation. */
+    int exact_limit = 9;
+
+    /** Number of restart seeds for the approximate search. */
+    int approx_seeds = 4;
+};
+
+/** Result: the minimal cost found and the realizing node bijection. */
+struct GedResult {
+    double cost = 0.0;
+    /** mapping[i] = candidate node that plays T_req node i. */
+    std::vector<int> mapping;
+};
+
+/** Cost of a specific bijection (utility, also used by tests). */
+double ged_mapping_cost(const Graph& req, const Graph& cand,
+                        const std::vector<int>& mapping,
+                        const GedOptions& opt = {});
+
+/** Exact minimum TED by branch and bound. @pre req.n == cand.n <= ~10 */
+GedResult exact_ged(const Graph& req, const Graph& cand,
+                    const GedOptions& opt = {});
+
+/** Approximate minimum TED: greedy BFS-seeded assignment + 2-opt. */
+GedResult approx_ged(const Graph& req, const Graph& cand,
+                     const GedOptions& opt = {});
+
+/** Dispatch: exact for small graphs, approximate otherwise. */
+GedResult ged(const Graph& req, const Graph& cand,
+              const GedOptions& opt = {});
+
+} // namespace vnpu::graph
+
+#endif // VNPU_GRAPH_GED_H

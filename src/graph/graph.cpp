@@ -1,0 +1,233 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace vnpu::graph {
+
+namespace {
+
+int
+checked_size(int n)
+{
+    if (n < 0 || n > kMaxCores)
+        fatal("graph size out of range: ", n);
+    return n;
+}
+
+} // namespace
+
+Graph::Graph(int n) : n_(checked_size(n)), adj_(n_, 0), labels_(n_, 0)
+{
+}
+
+Graph
+Graph::mesh(int w, int h)
+{
+    Graph g(w * h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int id = y * w + x;
+            if (x + 1 < w)
+                g.add_edge(id, id + 1);
+            if (y + 1 < h)
+                g.add_edge(id, id + w);
+        }
+    }
+    return g;
+}
+
+Graph
+Graph::chain(int n)
+{
+    Graph g(n);
+    for (int i = 0; i + 1 < n; ++i)
+        g.add_edge(i, i + 1);
+    return g;
+}
+
+Graph
+Graph::ring(int n)
+{
+    Graph g = chain(n);
+    if (n > 2)
+        g.add_edge(n - 1, 0);
+    return g;
+}
+
+Graph
+Graph::torus(int w, int h)
+{
+    Graph g = mesh(w, h);
+    for (int y = 0; y < h; ++y)
+        if (w > 2)
+            g.add_edge(y * w, y * w + w - 1);
+    for (int x = 0; x < w; ++x)
+        if (h > 2)
+            g.add_edge(x, (h - 1) * w + x);
+    return g;
+}
+
+int
+Graph::num_edges() const
+{
+    int total = 0;
+    for (int v = 0; v < n_; ++v)
+        total += degree(v);
+    return total / 2;
+}
+
+void
+Graph::add_edge(int a, int b)
+{
+    VNPU_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b);
+    adj_[a] |= NodeMask{1} << b;
+    adj_[b] |= NodeMask{1} << a;
+}
+
+void
+Graph::remove_edge(int a, int b)
+{
+    VNPU_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_);
+    adj_[a] &= ~(NodeMask{1} << b);
+    adj_[b] &= ~(NodeMask{1} << a);
+}
+
+bool
+Graph::has_edge(int a, int b) const
+{
+    VNPU_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_);
+    return (adj_[a] >> b) & 1;
+}
+
+std::vector<std::pair<int, int>>
+Graph::edges() const
+{
+    std::vector<std::pair<int, int>> out;
+    for (int a = 0; a < n_; ++a) {
+        NodeMask m = adj_[a] >> (a + 1) << (a + 1);
+        while (m) {
+            int b = __builtin_ctzll(m);
+            m &= m - 1;
+            out.emplace_back(a, b);
+        }
+    }
+    return out;
+}
+
+bool
+Graph::is_connected() const
+{
+    if (n_ == 0)
+        return true;
+    NodeMask all = n_ == 64 ? ~NodeMask{0} : (NodeMask{1} << n_) - 1;
+    return component_of(0, all) == all;
+}
+
+bool
+Graph::is_connected_subset(NodeMask subset) const
+{
+    if (subset == 0)
+        return true;
+    int start = __builtin_ctzll(subset);
+    return component_of(start, subset) == subset;
+}
+
+NodeMask
+Graph::component_of(int start, NodeMask allowed) const
+{
+    VNPU_ASSERT(start >= 0 && start < n_);
+    NodeMask seen = NodeMask{1} << start;
+    NodeMask frontier = seen;
+    while (frontier) {
+        NodeMask next = 0;
+        NodeMask f = frontier;
+        while (f) {
+            int v = __builtin_ctzll(f);
+            f &= f - 1;
+            next |= adj_[v];
+        }
+        next &= allowed & ~seen;
+        seen |= next;
+        frontier = next;
+    }
+    return seen;
+}
+
+Graph
+Graph::induced(const std::vector<int>& nodes) const
+{
+    Graph g(static_cast<int>(nodes.size()));
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        VNPU_ASSERT(nodes[i] >= 0 && nodes[i] < n_);
+        g.set_label(static_cast<int>(i), labels_[nodes[i]]);
+        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+            if (has_edge(nodes[i], nodes[j]))
+                g.add_edge(static_cast<int>(i), static_cast<int>(j));
+        }
+    }
+    return g;
+}
+
+std::vector<int>
+Graph::mask_to_nodes(NodeMask mask)
+{
+    std::vector<int> out;
+    while (mask) {
+        out.push_back(__builtin_ctzll(mask));
+        mask &= mask - 1;
+    }
+    return out;
+}
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+Graph::wl_hash(int rounds) const
+{
+    std::vector<std::uint64_t> color(n_);
+    for (int v = 0; v < n_; ++v)
+        color[v] = mix(0x1234u + static_cast<std::uint64_t>(labels_[v]));
+
+    std::vector<std::uint64_t> next(n_);
+    for (int r = 0; r < rounds; ++r) {
+        for (int v = 0; v < n_; ++v) {
+            // Order-independent aggregation of neighbor colors.
+            std::uint64_t sum = 0, xored = 0;
+            NodeMask m = adj_[v];
+            while (m) {
+                int u = __builtin_ctzll(m);
+                m &= m - 1;
+                sum += color[u];
+                xored ^= mix(color[u]);
+            }
+            next[v] = mix(color[v] ^ mix(sum + 0x9e37) ^ (xored * 3));
+        }
+        color.swap(next);
+    }
+
+    std::sort(color.begin(), color.end());
+    std::uint64_t h = 0xcbf29ce484222325ULL + static_cast<unsigned>(n_);
+    for (std::uint64_t c : color)
+        h = mix(h ^ c);
+    return h;
+}
+
+bool
+Graph::operator==(const Graph& other) const
+{
+    return n_ == other.n_ && adj_ == other.adj_ && labels_ == other.labels_;
+}
+
+} // namespace vnpu::graph

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Small undirected graphs over at most 64 nodes, used for NPU topologies
+ * (physical meshes, requested virtual topologies, allocated subgraphs).
+ *
+ * Adjacency is stored as one 64-bit neighbor mask per node, which makes
+ * connectivity checks, induced subgraphs and subset enumeration cheap.
+ */
+
+#ifndef VNPU_GRAPH_GRAPH_H
+#define VNPU_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vnpu::graph {
+
+/** Bitmask over graph node ids (bit i <=> node i). */
+using NodeMask = std::uint64_t;
+
+/**
+ * An undirected labelled graph with <= 64 nodes.
+ *
+ * Node labels model heterogeneity (e.g. "close to a memory interface");
+ * the default label is 0 (homogeneous).
+ */
+class Graph {
+  public:
+    /** An empty graph with `n` isolated nodes. @pre 0 <= n <= 64 */
+    explicit Graph(int n = 0);
+
+    // ---- Builders ---------------------------------------------------
+    /** 2D mesh: node (x, y) has id y*w + x. */
+    static Graph mesh(int w, int h);
+    /** Simple path 0-1-...-(n-1). */
+    static Graph chain(int n);
+    /** Cycle of n nodes. */
+    static Graph ring(int n);
+    /** 2D torus (mesh with wraparound links). */
+    static Graph torus(int w, int h);
+
+    // ---- Structure --------------------------------------------------
+    int num_nodes() const { return n_; }
+    int num_edges() const;
+
+    /** Add undirected edge a-b (idempotent). */
+    void add_edge(int a, int b);
+    /** Remove undirected edge a-b (idempotent). */
+    void remove_edge(int a, int b);
+    bool has_edge(int a, int b) const;
+
+    /** Neighbor mask of node v. */
+    NodeMask neighbors(int v) const { return adj_[v]; }
+    int degree(int v) const { return __builtin_popcountll(adj_[v]); }
+
+    /** All edges as (a, b) pairs with a < b. */
+    std::vector<std::pair<int, int>> edges() const;
+
+    // ---- Labels ------------------------------------------------------
+    int label(int v) const { return labels_[v]; }
+    void set_label(int v, int label) { labels_[v] = label; }
+
+    // ---- Queries -----------------------------------------------------
+    /** True when the whole graph is one connected component. */
+    bool is_connected() const;
+
+    /** True when the nodes in `subset` induce a connected subgraph. */
+    bool is_connected_subset(NodeMask subset) const;
+
+    /** Connected component containing `start`, restricted to `allowed`. */
+    NodeMask component_of(int start, NodeMask allowed) const;
+
+    /**
+     * Induced subgraph on `nodes`; new node i corresponds to nodes[i].
+     * Labels are carried over.
+     */
+    Graph induced(const std::vector<int>& nodes) const;
+
+    /** Node list of a mask in ascending id order. */
+    static std::vector<int> mask_to_nodes(NodeMask mask);
+
+    /**
+     * Label-aware Weisfeiler-Lehman hash: equal for isomorphic graphs,
+     * almost always distinct otherwise. Used to deduplicate candidate
+     * topologies ("retain only one instance per topology").
+     */
+    std::uint64_t wl_hash(int rounds = 3) const;
+
+    /** Exact structural equality (same ids, same edges, same labels). */
+    bool operator==(const Graph& other) const;
+
+  private:
+    int n_ = 0;
+    std::vector<NodeMask> adj_;
+    std::vector<int> labels_;
+};
+
+} // namespace vnpu::graph
+
+#endif // VNPU_GRAPH_GRAPH_H

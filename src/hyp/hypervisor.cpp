@@ -1,0 +1,233 @@
+#include "hyp/hypervisor.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace vnpu::hyp {
+
+namespace {
+
+/** Virtual address where a VM's mapped memory begins. */
+constexpr Addr kVaBase = 0x10000;
+/** Largest single buddy block mapped into one RTT entry. */
+constexpr std::uint64_t kMaxBlock = 16ull << 20;
+/** Smallest buddy block. */
+constexpr std::uint64_t kMinBlock = 64ull << 10;
+
+std::uint64_t
+round_up(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+} // namespace
+
+Hypervisor::Hypervisor(const SocConfig& cfg, const noc::MeshTopology& topo,
+                       core::NpuController& ctrl)
+    : cfg_(cfg), topo_(topo), ctrl_(ctrl), mapper_(topo), ivr_(ctrl),
+      hbm_(0, cfg.hbm_bytes, kMinBlock),
+      free_(topo.num_nodes() == 64 ? ~CoreMask{0}
+                                   : (CoreMask{1} << topo.num_nodes()) - 1)
+{
+    ctrl_.set_hyper_mode(true);
+}
+
+double
+Hypervisor::core_utilization() const
+{
+    int total = topo_.num_nodes();
+    return static_cast<double>(total - num_free_cores()) / total;
+}
+
+std::optional<virt::RoutingTable>
+Hypervisor::try_compact_rt(VmId vm,
+                           const std::vector<CoreId>& assignment) const
+{
+    const int n = static_cast<int>(assignment.size());
+    // Try every factorization n = vw * vh and test whether the
+    // assignment is row-major from an anchor with the mesh stride.
+    for (int vw = 1; vw <= n; ++vw) {
+        if (n % vw != 0)
+            continue;
+        int vh = n / vw;
+        CoreId anchor = assignment[0];
+        bool match = true;
+        for (int v = 0; v < n && match; ++v) {
+            int r = v / vw, c = v % vw;
+            if (assignment[v] != anchor + r * topo_.width() + c)
+                match = false;
+        }
+        if (!match)
+            continue;
+        // The rectangle must not wrap around a mesh row.
+        int ax = topo_.x_of(anchor);
+        int ay = topo_.y_of(anchor);
+        if (ax + vw <= topo_.width() && ay + vh <= topo_.height())
+            return virt::RoutingTable::mesh2d(vm, vw, vh, anchor,
+                                              topo_.width());
+    }
+    return std::nullopt;
+}
+
+mem::RangeTable
+Hypervisor::build_range_table(VmId vm, std::uint64_t bytes)
+{
+    mem::RangeTable rtt;
+    if (bytes == 0) {
+        rtt.finalize();
+        return rtt;
+    }
+    std::uint64_t remain = round_up(bytes, kMinBlock);
+    Addr va = kVaBase;
+    std::vector<Addr>& owned = blocks_[vm];
+    // Scale the block size so large VMs stay within the 256-entry RTT
+    // (the 8-bit last_v index bounds the table).
+    std::uint64_t max_block = kMaxBlock;
+    while (remain / max_block > 128)
+        max_block <<= 1;
+    while (remain > 0) {
+        std::uint64_t chunk = std::min(remain, max_block);
+        std::optional<Addr> pa = hbm_.alloc(chunk);
+        if (!pa) {
+            // Roll back partial allocation before failing.
+            for (Addr a : owned)
+                hbm_.free(a);
+            blocks_.erase(vm);
+            fatal("hypervisor: out of HBM while mapping ", bytes,
+                  " bytes for vm ", vm);
+        }
+        owned.push_back(*pa);
+        std::uint64_t got = hbm_.block_size(*pa);
+        rtt.add(va, *pa, got, mem::kPermRead | mem::kPermWrite);
+        va += got;
+        remain -= std::min(remain, got);
+    }
+    rtt.finalize();
+    return rtt;
+}
+
+virt::VirtualNpu&
+Hypervisor::create(const VnpuSpec& spec)
+{
+    // 1. Resolve the requested virtual topology.
+    graph::Graph vtopo =
+        spec.topo ? *spec.topo : TopologyMapper::snake_topology(
+                                     spec.num_cores > 0 ? spec.num_cores : 1);
+    if (spec.topo && spec.num_cores > 0 &&
+        spec.topo->num_nodes() != spec.num_cores) {
+        fatal("spec.num_cores (", spec.num_cores,
+              ") contradicts spec.topo size (", spec.topo->num_nodes(), ")");
+    }
+
+    // 2. Allocate physical cores via the chosen strategy.
+    MappingRequest mreq;
+    mreq.vtopo = vtopo;
+    mreq.strategy = spec.strategy;
+    mreq.require_connected = spec.noc_isolation;
+    mreq.max_candidates = spec.max_candidates;
+    mreq.ged = spec.ged;
+    MappingResult m = mapper_.map(mreq, free_);
+    if (!m.ok) {
+        ++stats_.allocation_failures;
+        fatal("vNPU allocation failed (", to_string(spec.strategy),
+              ", ", vtopo.num_nodes(), " cores): ", m.error);
+    }
+
+    VmId vm = next_vm_++;
+
+    // 3. Routing table: compact mesh2d encoding when the region is a
+    //    row-major rectangle, standard entries otherwise.
+    std::optional<virt::RoutingTable> rt = try_compact_rt(vm, m.assignment);
+    if (!rt)
+        rt = virt::RoutingTable::standard(vm, m.assignment);
+
+    auto vnpu = std::make_unique<virt::VirtualNpu>(vm, m.assignment, vtopo,
+                                                   *rt);
+    vnpu->set_mapping_ted(m.ted);
+
+    // 4. NoC isolation: predefine confining directions when the region
+    //    is connected and isolation was requested.
+    CoreMask mask = vnpu->mask();
+    if (spec.noc_isolation) {
+        if (!topo_.to_graph().is_connected_subset(mask))
+            fatal("isolation requested but region is disconnected");
+        vnpu->set_confined_routes(
+            noc::RouteOverride::build_confined(topo_, mask));
+    }
+
+    // 5. Memory: buddy blocks -> RTT entries.
+    vnpu->set_range_table(build_range_table(vm, spec.memory_bytes));
+
+    // 6. Bandwidth share proportional to reachable memory interfaces.
+    int ifaces = topo_.interfaces_of(mask, cfg_.hbm_channels);
+    vnpu->set_interfaces(ifaces);
+    double cap = spec.bw_cap > 0.0
+                     ? spec.bw_cap
+                     : cfg_.hbm_bytes_per_cycle * ifaces / cfg_.hbm_channels;
+    vnpu->set_bandwidth_cap(cap);
+
+    // 7. Deploy meta tables (hyper-mode controller) and account cost.
+    Cycles cost = ctrl_.configure_routing_table(vm, vnpu->num_cores());
+    cost += static_cast<Cycles>(vnpu->range_table().size()) *
+            cfg_.rt_config_write_cycles;
+    if (vnpu->confined_routes()) {
+        cost += static_cast<Cycles>(vnpu->confined_routes()->size()) *
+                cfg_.rt_config_write_cycles / 4;
+    }
+    std::uint64_t meta_bytes =
+        vnpu->routing_table().storage_bits() / 8 +
+        vnpu->range_table().footprint_bytes() +
+        (vnpu->confined_routes() ? vnpu->confined_routes()->size() * 2 : 0);
+    if (meta_bytes > cfg_.meta_zone_bytes) {
+        fatal("meta tables (", meta_bytes, " B) exceed the per-core ",
+              cfg_.meta_zone_bytes, "-byte meta-zone");
+    }
+    ctrl_.deploy_meta_bytes(vm, meta_bytes);
+    ivr_.install(&vnpu->routing_table());
+
+    last_setup_cost_ = cost;
+    stats_.setup_cycles += cost;
+    ++stats_.vnpus_created;
+
+    // 8. Commit the core allocation.
+    free_ &= ~mask;
+    virt::VirtualNpu& ref = *vnpu;
+    vnpus_[vm] = std::move(vnpu);
+    return ref;
+}
+
+void
+Hypervisor::destroy(VmId vm)
+{
+    auto it = vnpus_.find(vm);
+    if (it == vnpus_.end())
+        fatal("destroy of unknown vm ", vm);
+    free_ |= it->second->mask();
+    ivr_.remove(vm);
+    ctrl_.teardown_tables(vm);
+    auto bit = blocks_.find(vm);
+    if (bit != blocks_.end()) {
+        for (Addr a : bit->second)
+            hbm_.free(a);
+        blocks_.erase(bit);
+    }
+    vnpus_.erase(it);
+    ++stats_.vnpus_destroyed;
+}
+
+virt::VirtualNpu*
+Hypervisor::find(VmId vm)
+{
+    auto it = vnpus_.find(vm);
+    return it == vnpus_.end() ? nullptr : it->second.get();
+}
+
+const virt::VirtualNpu*
+Hypervisor::find(VmId vm) const
+{
+    auto it = vnpus_.find(vm);
+    return it == vnpus_.end() ? nullptr : it->second.get();
+}
+
+} // namespace vnpu::hyp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The vNPU hypervisor (paper §5.2): virtual-NPU lifecycle, core
+ * allocation through the topology mapper, HBM allocation through the
+ * buddy system, and meta-table construction/deployment.
+ */
+
+#ifndef VNPU_HYP_HYPERVISOR_H
+#define VNPU_HYP_HYPERVISOR_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/controller.h"
+#include "hyp/topology_mapper.h"
+#include "mem/buddy_allocator.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "virt/virtual_npu.h"
+#include "virt/vrouter.h"
+
+namespace vnpu::hyp {
+
+/** What the user asks for when creating a VM's virtual NPU. */
+struct VnpuSpec {
+    /** Core count; ignored when `topo` is given. */
+    int num_cores = 0;
+    /** Requested virtual topology; default: snake mesh of num_cores. */
+    std::optional<graph::Graph> topo;
+    /** Global (HBM) memory to map for this VM. */
+    std::uint64_t memory_bytes = 0;
+    MappingStrategy strategy = MappingStrategy::kSimilarTopology;
+    /** Confine NoC routes to the region (non-interference guarantee). */
+    bool noc_isolation = true;
+    /** Memory-bandwidth cap (bytes/cycle); 0 = proportional share by
+     *  reachable memory interfaces (paper §6.3.4). */
+    double bw_cap = 0.0;
+    /** Hardware range-TLB entries per core (4 in the paper). */
+    int range_tlb_entries = 4;
+    /** Candidate budget forwarded to the topology mapper. */
+    std::uint64_t max_candidates = 400;
+    /** Edit-cost customization for heterogeneous topologies. */
+    graph::GedOptions ged;
+};
+
+/** Hypervisor bookkeeping statistics. */
+struct HypervisorStats {
+    Counter vnpus_created;
+    Counter vnpus_destroyed;
+    Counter allocation_failures;
+    Counter setup_cycles;     ///< Accumulated meta-table config cost.
+};
+
+/** Manages all virtual NPUs of one physical chip. */
+class Hypervisor {
+  public:
+    Hypervisor(const SocConfig& cfg, const noc::MeshTopology& topo,
+               core::NpuController& ctrl);
+
+    /**
+     * Create a virtual NPU per `spec`.
+     * @throws SimFatal when allocation fails (caller may retry with a
+     *         different strategy or size).
+     */
+    virt::VirtualNpu& create(const VnpuSpec& spec);
+
+    /** Tear down a VM: release cores, memory, and meta tables. */
+    void destroy(VmId vm);
+
+    virt::VirtualNpu* find(VmId vm);
+    const virt::VirtualNpu* find(VmId vm) const;
+
+    CoreMask free_cores() const { return free_; }
+    int num_free_cores() const { return mask_count(free_); }
+    /** Fraction of physical cores currently allocated. */
+    double core_utilization() const;
+
+    /** Setup cost (cycles) of the most recent create(). */
+    Cycles last_setup_cost() const { return last_setup_cost_; }
+
+    const HypervisorStats& stats() const { return stats_; }
+    virt::InstVRouter& inst_vrouter() { return ivr_; }
+    const TopologyMapper& mapper() const { return mapper_; }
+
+    /** Dry-run the mapper (used by examples and benches). */
+    MappingResult try_map(const MappingRequest& req) const
+    {
+        return mapper_.map(req, free_);
+    }
+
+  private:
+    /** Detect a compact mesh2d routing-table encoding, if possible. */
+    std::optional<virt::RoutingTable>
+    try_compact_rt(VmId vm, const std::vector<CoreId>& assignment) const;
+
+    mem::RangeTable build_range_table(VmId vm, std::uint64_t bytes);
+
+    const SocConfig& cfg_;
+    const noc::MeshTopology& topo_;
+    core::NpuController& ctrl_;
+    TopologyMapper mapper_;
+    virt::InstVRouter ivr_;
+    mem::BuddyAllocator hbm_;
+    CoreMask free_;
+    VmId next_vm_ = 1;
+    Cycles last_setup_cost_ = 0;
+    HypervisorStats stats_;
+    std::map<VmId, std::unique_ptr<virt::VirtualNpu>> vnpus_;
+    std::map<VmId, std::vector<Addr>> blocks_; ///< buddy blocks per VM
+};
+
+} // namespace vnpu::hyp
+
+#endif // VNPU_HYP_HYPERVISOR_H

@@ -1,0 +1,192 @@
+#include "hyp/mig.h"
+
+#include <algorithm>
+
+#include "hyp/topology_mapper.h"
+#include "sim/log.h"
+
+namespace vnpu::hyp {
+
+namespace {
+
+constexpr Addr kVaBase = 0x10000;
+constexpr std::uint64_t kMinBlock = 64ull << 10;
+constexpr std::uint64_t kMaxBlock = 16ull << 20;
+
+} // namespace
+
+MigPartitioner::MigPartitioner(const SocConfig& cfg,
+                               const noc::MeshTopology& topo,
+                               core::NpuController& ctrl)
+    : cfg_(cfg), topo_(topo), ctrl_(ctrl), hbm_(0, cfg.hbm_bytes, kMinBlock)
+{
+    ctrl_.set_hyper_mode(true);
+    // Default: two vertical halves.
+    int lw = topo.width() / 2;
+    parts_.push_back({0, 0, lw, topo.height(), false});
+    parts_.push_back({lw, 0, topo.width() - lw, topo.height(), false});
+}
+
+void
+MigPartitioner::set_partitions(std::vector<MigPartition> parts)
+{
+    for (const MigPartition& p : parts) {
+        if (p.x < 0 || p.y < 0 || p.w <= 0 || p.h <= 0 ||
+            p.x + p.w > topo_.width() || p.y + p.h > topo_.height()) {
+            fatal("MIG partition out of mesh bounds");
+        }
+    }
+    parts_ = std::move(parts);
+}
+
+std::vector<CoreId>
+MigPartitioner::snake_cores(const MigPartition& p) const
+{
+    std::vector<CoreId> cores;
+    for (int r = 0; r < p.h; ++r) {
+        if (r % 2 == 0) {
+            for (int c = 0; c < p.w; ++c)
+                cores.push_back(topo_.id_of(p.x + c, p.y + r));
+        } else {
+            for (int c = p.w - 1; c >= 0; --c)
+                cores.push_back(topo_.id_of(p.x + c, p.y + r));
+        }
+    }
+    return cores;
+}
+
+virt::VirtualNpu&
+MigPartitioner::create(int num_cores, std::uint64_t memory_bytes)
+{
+    if (num_cores <= 0)
+        fatal("MIG request needs at least one core");
+
+    // Smallest free partition that fits; else largest free (TDM).
+    int pick = -1;
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+        const MigPartition& p = parts_[i];
+        if (p.in_use)
+            continue;
+        if (p.num_cores() >= num_cores &&
+            (pick < 0 || p.num_cores() < parts_[pick].num_cores())) {
+            pick = static_cast<int>(i);
+        }
+    }
+    if (pick < 0) {
+        for (std::size_t i = 0; i < parts_.size(); ++i) {
+            const MigPartition& p = parts_[i];
+            if (p.in_use)
+                continue;
+            if (pick < 0 || p.num_cores() > parts_[pick].num_cores())
+                pick = static_cast<int>(i);
+        }
+    }
+    if (pick < 0)
+        fatal("MIG: all partitions are in use");
+
+    MigPartition& part = parts_[pick];
+    std::vector<CoreId> pcores = snake_cores(part);
+
+    // Virtual core i -> partition core i (mod partition size): TDM when
+    // the request exceeds the partition.
+    std::vector<CoreId> assignment(num_cores);
+    for (int v = 0; v < num_cores; ++v)
+        assignment[v] = pcores[v % pcores.size()];
+    int tdm = (num_cores + part.num_cores() - 1) / part.num_cores();
+
+    VmId vm = next_vm_++;
+    virt::RoutingTable rt = virt::RoutingTable::standard(vm, assignment);
+    auto vnpu = std::make_unique<virt::VirtualNpu>(
+        vm, assignment, TopologyMapper::snake_topology(num_cores), rt);
+    vnpu->set_tdm_factor(tdm);
+
+    // A rectangle is closed under XY routing, so MIG partitions are
+    // NoC-isolated by construction; no direction overrides needed.
+
+    // Memory: buddy blocks -> RTT, same translation hardware as vNPU so
+    // the comparison isolates the topology/allocation effect.
+    mem::RangeTable rtt;
+    if (memory_bytes > 0) {
+        std::uint64_t remain =
+            (memory_bytes + kMinBlock - 1) / kMinBlock * kMinBlock;
+        Addr va = kVaBase;
+        std::uint64_t max_block = kMaxBlock;
+        while (remain / max_block > 128)
+            max_block <<= 1;
+        while (remain > 0) {
+            std::uint64_t chunk = std::min(remain, max_block);
+            std::optional<Addr> pa = hbm_.alloc(chunk);
+            if (!pa)
+                fatal("MIG: out of HBM");
+            blocks_[vm].push_back(*pa);
+            std::uint64_t got = hbm_.block_size(*pa);
+            rtt.add(va, *pa, got, mem::kPermRead | mem::kPermWrite);
+            va += got;
+            remain -= std::min(remain, got);
+        }
+    }
+    rtt.finalize();
+    vnpu->set_range_table(std::move(rtt));
+
+    CoreMask mask = vnpu->mask();
+    int ifaces = topo_.interfaces_of(mask, cfg_.hbm_channels);
+    vnpu->set_interfaces(ifaces);
+    vnpu->set_bandwidth_cap(cfg_.hbm_bytes_per_cycle * ifaces /
+                            cfg_.hbm_channels);
+
+    ctrl_.configure_routing_table(vm, num_cores);
+    ctrl_.deploy_meta_bytes(vm, rt.storage_bits() / 8 +
+                                    vnpu->range_table().footprint_bytes());
+
+    part.in_use = true;
+    vm_partition_[vm] = pick;
+    virt::VirtualNpu& ref = *vnpu;
+    vnpus_[vm] = std::move(vnpu);
+    return ref;
+}
+
+void
+MigPartitioner::destroy(VmId vm)
+{
+    auto it = vnpus_.find(vm);
+    if (it == vnpus_.end())
+        fatal("MIG destroy of unknown vm ", vm);
+    parts_[vm_partition_[vm]].in_use = false;
+    vm_partition_.erase(vm);
+    auto bit = blocks_.find(vm);
+    if (bit != blocks_.end()) {
+        for (Addr a : bit->second)
+            hbm_.free(a);
+        blocks_.erase(bit);
+    }
+    ctrl_.teardown_tables(vm);
+    vnpus_.erase(it);
+}
+
+virt::VirtualNpu*
+MigPartitioner::find(VmId vm)
+{
+    auto it = vnpus_.find(vm);
+    return it == vnpus_.end() ? nullptr : it->second.get();
+}
+
+int
+MigPartitioner::wasted_cores() const
+{
+    int waste = 0;
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+        if (!parts_[i].in_use)
+            continue;
+        // Cores in the partition not hosting any virtual core.
+        CoreMask used = 0;
+        for (const auto& [vm, idx] : vm_partition_) {
+            if (idx == static_cast<int>(i))
+                used |= vnpus_.at(vm)->mask();
+        }
+        const MigPartition& p = parts_[i];
+        waste += p.num_cores() - mask_count(used);
+    }
+    return waste;
+}
+
+} // namespace vnpu::hyp

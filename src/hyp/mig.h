@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MIG-style virtual NPU baseline (paper §6.3.2).
+ *
+ * Mirrors commercial MIG/TPU-v6e slicing: the chip is split into a few
+ * *fixed* rectangular partitions with predetermined sub-topologies.
+ * A request either fits a partition (possibly wasting cores) or, when
+ * it needs more cores than the largest free partition offers, multiple
+ * virtual cores time-division-multiplex one physical core.
+ */
+
+#ifndef VNPU_HYP_MIG_H
+#define VNPU_HYP_MIG_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/controller.h"
+#include "mem/buddy_allocator.h"
+#include "noc/topology.h"
+#include "sim/config.h"
+#include "virt/virtual_npu.h"
+
+namespace vnpu::hyp {
+
+/** One fixed MIG partition (a mesh-aligned rectangle). */
+struct MigPartition {
+    int x = 0, y = 0, w = 0, h = 0;
+    bool in_use = false;
+
+    int num_cores() const { return w * h; }
+};
+
+/** Fixed-partition virtual NPU manager. */
+class MigPartitioner {
+  public:
+    MigPartitioner(const SocConfig& cfg, const noc::MeshTopology& topo,
+                   core::NpuController& ctrl);
+
+    /**
+     * Replace the partition layout. Default: the mesh split into two
+     * vertical halves (e.g. 6x6 -> two 3x6 = 18-core partitions;
+     * 8x6 -> two 4x6 = 24-core partitions).
+     */
+    void set_partitions(std::vector<MigPartition> parts);
+
+    const std::vector<MigPartition>& partitions() const { return parts_; }
+
+    /**
+     * Create a virtual NPU with `num_cores` virtual cores.
+     *  - Fits a free partition: uses its first num_cores cores in snake
+     *    order (the remainder of the partition is wasted).
+     *  - Exceeds every free partition: the largest free partition is
+     *    used and virtual cores share physical cores via TDM.
+     * @throws SimFatal when no partition is free.
+     */
+    virt::VirtualNpu& create(int num_cores, std::uint64_t memory_bytes);
+
+    void destroy(VmId vm);
+    virt::VirtualNpu* find(VmId vm);
+
+    /** Physical cores wasted by the current allocations. */
+    int wasted_cores() const;
+
+  private:
+    /** Boustrophedon core order inside a partition rectangle. */
+    std::vector<CoreId> snake_cores(const MigPartition& p) const;
+
+    const SocConfig& cfg_;
+    const noc::MeshTopology& topo_;
+    core::NpuController& ctrl_;
+    std::vector<MigPartition> parts_;
+    mem::BuddyAllocator hbm_;
+    VmId next_vm_ = 1;
+    std::map<VmId, std::unique_ptr<virt::VirtualNpu>> vnpus_;
+    std::map<VmId, int> vm_partition_;
+    std::map<VmId, std::vector<Addr>> blocks_;
+};
+
+} // namespace vnpu::hyp
+
+#endif // VNPU_HYP_MIG_H

@@ -1,0 +1,374 @@
+#include "hyp/topology_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace vnpu::hyp {
+
+const char*
+to_string(MappingStrategy s)
+{
+    switch (s) {
+      case MappingStrategy::kExact:           return "exact";
+      case MappingStrategy::kStraightforward: return "straightforward";
+      case MappingStrategy::kSimilarTopology: return "similar-topology";
+      case MappingStrategy::kFragmented:      return "fragmented";
+    }
+    return "?";
+}
+
+TopologyMapper::TopologyMapper(const noc::MeshTopology& topo) : topo_(topo)
+{
+}
+
+graph::Graph
+TopologyMapper::snake_topology(int n)
+{
+    VNPU_ASSERT(n > 0 && n <= kMaxCores);
+    int w = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+
+    // Grid cell of snake node i (boustrophedon rows).
+    auto cell = [&](int i) {
+        int r = i / w;
+        int c = i % w;
+        if (r % 2 == 1)
+            c = w - 1 - c;
+        return std::make_pair(c, r);
+    };
+
+    graph::Graph g(n);
+    for (int i = 0; i < n; ++i) {
+        auto [ci, ri] = cell(i);
+        for (int j = i + 1; j < n; ++j) {
+            auto [cj, rj] = cell(j);
+            if (std::abs(ci - cj) + std::abs(ri - rj) == 1)
+                g.add_edge(i, j);
+        }
+        (void)ri;
+    }
+    return g;
+}
+
+MappingResult
+TopologyMapper::map(const MappingRequest& req, CoreMask free_cores) const
+{
+    const int k = req.vtopo.num_nodes();
+    if (k <= 0)
+        return {false, {}, 0.0, 0, "empty request"};
+    if (mask_count(free_cores) < k)
+        return {false, {}, 0.0, 0, "not enough free cores"};
+
+    switch (req.strategy) {
+      case MappingStrategy::kExact:
+        return map_exact(req, free_cores);
+      case MappingStrategy::kStraightforward:
+        return map_straightforward(req, free_cores);
+      case MappingStrategy::kSimilarTopology:
+        return map_similar(req, free_cores, /*allow_fragmented=*/false);
+      case MappingStrategy::kFragmented:
+        return map_similar(req, free_cores, /*allow_fragmented=*/true);
+    }
+    panic("unknown mapping strategy");
+}
+
+std::vector<graph::NodeMask>
+TopologyMapper::collect_candidates(const MappingRequest& req, CoreMask free,
+                                   std::uint64_t* seen) const
+{
+    const int k = req.vtopo.num_nodes();
+    graph::Graph mesh = topo_.to_graph();
+
+    std::vector<graph::NodeMask> candidates;
+    std::set<std::uint64_t> topo_hashes; // "one instance per topology"
+    std::uint64_t considered = 0;
+
+    // Whole-free-set request: exactly one candidate exists.
+    if (k == mask_count(free)) {
+        if (mesh.is_connected_subset(free))
+            candidates.push_back(free);
+        *seen = 1;
+        return candidates;
+    }
+
+    auto consider = [&](graph::NodeMask m) {
+        ++considered;
+        graph::Graph sub = mesh.induced(graph::Graph::mask_to_nodes(m));
+        if (!topo_hashes.insert(sub.wl_hash()).second)
+            return true; // duplicate shape, prune
+        candidates.push_back(m);
+        return candidates.size() <
+               static_cast<std::size_t>(req.max_candidates);
+    };
+
+    // Exact enumeration while cheap; otherwise deterministic sampling.
+    std::uint64_t space = graph::binomial(mask_count(free), k);
+    if (space <= 200000) {
+        graph::enumerate_connected_subsets(mesh, k, free, consider,
+                                           req.max_candidates * 512);
+    } else {
+        graph::enumerate_connected_subsets(mesh, k, free, consider,
+                                           req.max_candidates * 4);
+        Rng rng(0x5eed + static_cast<std::uint64_t>(k));
+        auto sampled = graph::sample_connected_subsets(
+            mesh, k, free, static_cast<int>(req.max_candidates) * 4, rng);
+        for (graph::NodeMask m : sampled) {
+            if (candidates.size() >=
+                static_cast<std::size_t>(req.max_candidates) * 2)
+                break;
+            consider(m);
+        }
+    }
+    *seen = considered;
+    return candidates;
+}
+
+std::uint64_t
+TopologyMapper::wirelength(const graph::Graph& vtopo,
+                           const std::vector<CoreId>& assignment) const
+{
+    std::uint64_t total = 0;
+    for (auto [u, v] : vtopo.edges())
+        total += static_cast<std::uint64_t>(
+            topo_.hop_distance(assignment[u], assignment[v]));
+    return total;
+}
+
+void
+TopologyMapper::refine_wirelength(const graph::Graph& vtopo,
+                                  std::vector<CoreId>& assignment) const
+{
+    const int n = vtopo.num_nodes();
+
+    // Greedy chain-following seeds: pipeline traffic flows along the
+    // virtual id order, so walk the region placing consecutive stages
+    // on the nearest unused cores. Keep the best of the GED-derived
+    // correspondence and the greedy embeddings as the 2-opt start.
+    std::vector<CoreId> region = assignment; // the candidate node set
+    std::sort(region.begin(), region.end());
+    std::vector<CoreId> starts{region.front(), region.back()};
+    std::vector<CoreId> best = assignment;
+    std::uint64_t best_wl = wirelength(vtopo, best);
+    for (CoreId start : starts) {
+        std::vector<CoreId> greedy(n, kInvalidCore);
+        CoreMask used = 0;
+        CoreId cur = start;
+        greedy[0] = cur;
+        used |= core_bit(cur);
+        for (int v = 1; v < n; ++v) {
+            CoreId next = kInvalidCore;
+            int next_d = INT32_MAX;
+            for (CoreId c : region) {
+                if (used & core_bit(c))
+                    continue;
+                int d = topo_.hop_distance(cur, c);
+                if (d < next_d || (d == next_d && c < next)) {
+                    next_d = d;
+                    next = c;
+                }
+            }
+            greedy[v] = next;
+            used |= core_bit(next);
+            cur = next;
+        }
+        std::uint64_t wl = wirelength(vtopo, greedy);
+        if (wl < best_wl) {
+            best_wl = wl;
+            best = greedy;
+        }
+    }
+    assignment = best;
+
+    auto delta = [&](int a, int b) {
+        // Change in wirelength if virtual nodes a and b swap cores.
+        std::int64_t d = 0;
+        auto edge_terms = [&](int x, int other, CoreId new_core) {
+            graph::NodeMask m = vtopo.neighbors(x);
+            while (m) {
+                int u = __builtin_ctzll(m);
+                m &= m - 1;
+                if (u == other)
+                    continue; // the a-b edge is swap-invariant
+                d -= topo_.hop_distance(assignment[x], assignment[u]);
+                d += topo_.hop_distance(new_core, assignment[u]);
+            }
+        };
+        edge_terms(a, b, assignment[b]);
+        edge_terms(b, a, assignment[a]);
+        return d;
+    };
+    for (int pass = 0; pass < 24; ++pass) {
+        bool improved = false;
+        for (int a = 0; a < n; ++a) {
+            for (int b = a + 1; b < n; ++b) {
+                if (delta(a, b) < 0) {
+                    std::swap(assignment[a], assignment[b]);
+                    improved = true;
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+}
+
+MappingResult
+TopologyMapper::map_exact(const MappingRequest& req, CoreMask free) const
+{
+    MappingResult res;
+    std::uint64_t seen = 0;
+    graph::Graph mesh = topo_.to_graph();
+    std::uint64_t req_hash = req.vtopo.wl_hash();
+
+    for (graph::NodeMask m : collect_candidates(req, free, &seen)) {
+        std::vector<int> nodes = graph::Graph::mask_to_nodes(m);
+        graph::Graph sub = mesh.induced(nodes);
+        if (sub.wl_hash() != req_hash)
+            continue;
+        graph::GedResult g = graph::ged(req.vtopo, sub, req.ged);
+        if (g.cost == 0.0) {
+            res.ok = true;
+            res.ted = 0.0;
+            res.assignment.resize(nodes.size());
+            for (int v = 0; v < req.vtopo.num_nodes(); ++v)
+                res.assignment[v] = nodes[g.mapping[v]];
+            res.candidates_considered = seen;
+            return res;
+        }
+    }
+    res.error = "no exact topology match available (topology lock-in)";
+    res.candidates_considered = seen;
+    return res;
+}
+
+MappingResult
+TopologyMapper::map_straightforward(const MappingRequest& req,
+                                    CoreMask free) const
+{
+    const int k = req.vtopo.num_nodes();
+    std::vector<int> nodes = graph::Graph::mask_to_nodes(free);
+    nodes.resize(k); // lowest ids first (zig-zag over the mesh rows)
+
+    graph::Graph sub = topo_.to_graph().induced(nodes);
+    // Identity order: virtual core v sits on the v-th lowest free core.
+    std::vector<int> identity(k);
+    for (int v = 0; v < k; ++v)
+        identity[v] = v;
+    MappingResult res;
+    res.ok = true;
+    res.assignment.resize(k);
+    for (int v = 0; v < k; ++v)
+        res.assignment[v] = nodes[v];
+    res.ted = graph::ged_mapping_cost(req.vtopo, sub, identity, req.ged);
+    res.candidates_considered = 1;
+    return res;
+}
+
+MappingResult
+TopologyMapper::map_similar(const MappingRequest& req, CoreMask free,
+                            bool allow_fragmented) const
+{
+    const int k = req.vtopo.num_nodes();
+    graph::Graph mesh = topo_.to_graph();
+    std::uint64_t req_hash = req.vtopo.wl_hash();
+
+    std::uint64_t seen = 0;
+    std::vector<graph::NodeMask> candidates =
+        collect_candidates(req, free, &seen);
+
+    MappingResult res;
+    res.candidates_considered = seen;
+
+    double best = std::numeric_limits<double>::infinity();
+    for (graph::NodeMask m : candidates) {
+        std::vector<int> nodes = graph::Graph::mask_to_nodes(m);
+        graph::Graph sub = mesh.induced(nodes);
+
+        // Early exit: candidate topology equals the request (Line 22).
+        bool maybe_exact = sub.wl_hash() == req_hash;
+        graph::GedResult g = graph::ged(req.vtopo, sub, req.ged);
+        if (g.cost < best) {
+            best = g.cost;
+            res.assignment.assign(k, kInvalidCore);
+            for (int v = 0; v < k; ++v)
+                res.assignment[v] = nodes[g.mapping[v]];
+            res.ted = g.cost;
+            res.ok = true;
+            if (maybe_exact && g.cost == 0.0)
+                return res; // already adjacency-perfect
+        }
+    }
+    if (res.ok) {
+        // TED ranks candidates; within the winner, keep the endpoints
+        // of unmatched virtual edges physically close (an unmatched
+        // edge otherwise lands on an arbitrary multi-hop path).
+        refine_wirelength(req.vtopo, res.assignment);
+        // Re-derive the TED of the refined correspondence for reports.
+        std::vector<int> nodes(res.assignment);
+        std::sort(nodes.begin(), nodes.end());
+        std::vector<int> mapping(k);
+        for (int v = 0; v < k; ++v) {
+            mapping[v] = static_cast<int>(
+                std::lower_bound(nodes.begin(), nodes.end(),
+                                 res.assignment[v]) -
+                nodes.begin());
+        }
+        res.ted = graph::ged_mapping_cost(req.vtopo, mesh.induced(nodes),
+                                          mapping, req.ged);
+        return res;
+    }
+
+    if (!allow_fragmented) {
+        res.error = "no connected region of the required size";
+        return res;
+    }
+
+    // Fragmented fallback: greedily pack the closest free cores.
+    std::vector<int> free_nodes = graph::Graph::mask_to_nodes(free);
+    // Seed: free core with the most free neighbors.
+    int seed = free_nodes.front();
+    int best_deg = -1;
+    for (int v : free_nodes) {
+        int deg = __builtin_popcountll(mesh.neighbors(v) & free);
+        if (deg > best_deg) {
+            best_deg = deg;
+            seed = v;
+        }
+    }
+    std::vector<int> chosen{seed};
+    CoreMask chosen_mask = core_bit(seed);
+    while (static_cast<int>(chosen.size()) < k) {
+        int next = kInvalidCore;
+        int next_dist = INT32_MAX;
+        for (int v : free_nodes) {
+            if (chosen_mask & core_bit(v))
+                continue;
+            int d = INT32_MAX;
+            for (int c : chosen)
+                d = std::min(d, topo_.hop_distance(c, v));
+            if (d < next_dist || (d == next_dist && v < next)) {
+                next_dist = d;
+                next = v;
+            }
+        }
+        VNPU_ASSERT(next != kInvalidCore);
+        chosen.push_back(next);
+        chosen_mask |= core_bit(next);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    graph::Graph sub = mesh.induced(chosen);
+    graph::GedResult g = graph::approx_ged(req.vtopo, sub, req.ged);
+    res.ok = true;
+    res.ted = g.cost;
+    res.assignment.assign(k, kInvalidCore);
+    for (int v = 0; v < k; ++v)
+        res.assignment[v] = chosen[g.mapping[v]];
+    refine_wirelength(req.vtopo, res.assignment);
+    return res;
+}
+
+} // namespace vnpu::hyp

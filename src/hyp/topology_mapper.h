@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Topology mapping strategies for virtual-NPU core allocation
+ * (paper §4.3, Algorithm 1).
+ *
+ * Strategies:
+ *  - kExact: allocate only a region isomorphic to the request (TED 0);
+ *    fail otherwise — this is the "topology lock-in" behaviour.
+ *  - kStraightforward: take the lowest-id free cores (zig-zag); cheap
+ *    but ignores adjacency.
+ *  - kSimilarTopology: enumerate connected candidate regions (pruned,
+ *    deduplicated by topology, early-exit on an exact match), score by
+ *    minimum topology edit distance, return the best.
+ *  - kFragmented: like similar-topology, but when no connected region
+ *    of the required size exists, fall back to the closest-packed
+ *    disconnected core set (trades isolation for utilization).
+ */
+
+#ifndef VNPU_HYP_TOPOLOGY_MAPPER_H
+#define VNPU_HYP_TOPOLOGY_MAPPER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/enumerate.h"
+#include "graph/ged.h"
+#include "graph/graph.h"
+#include "noc/topology.h"
+#include "sim/types.h"
+
+namespace vnpu::hyp {
+
+/** Core-allocation strategy. */
+enum class MappingStrategy : std::uint8_t {
+    kExact,
+    kStraightforward,
+    kSimilarTopology,
+    kFragmented,
+};
+
+const char* to_string(MappingStrategy s);
+
+/** One allocation request. */
+struct MappingRequest {
+    /** Requested virtual topology (labels optional). */
+    graph::Graph vtopo;
+    MappingStrategy strategy = MappingStrategy::kSimilarTopology;
+    /** R-3: reject disconnected regions (ignored by kFragmented). */
+    bool require_connected = true;
+    /** Candidate-set budget before sampling kicks in. */
+    std::uint64_t max_candidates = 400;
+    /** Edit-cost customization (heterogeneous nodes/edges). */
+    graph::GedOptions ged;
+};
+
+/** Allocation outcome. */
+struct MappingResult {
+    bool ok = false;
+    /** assignment[v] = physical core hosting virtual core v. */
+    std::vector<CoreId> assignment;
+    /** Topology edit distance between request and realized region. */
+    double ted = 0.0;
+    std::uint64_t candidates_considered = 0;
+    std::string error;
+};
+
+/** Maps requested virtual topologies onto free physical cores. */
+class TopologyMapper {
+  public:
+    explicit TopologyMapper(const noc::MeshTopology& topo);
+
+    /** Run the requested strategy against the free-core mask. */
+    MappingResult map(const MappingRequest& req, CoreMask free_cores) const;
+
+    /**
+     * Build a near-square mesh-ish request topology for `n` cores with
+     * a boustrophedon (snake) dataflow order: node i connects to i+1,
+     * plus mesh column links. This is the default virtual topology for
+     * pipeline workloads.
+     */
+    static graph::Graph snake_topology(int n);
+
+    /**
+     * Total NoC hop distance realized by a virtual-to-physical
+     * assignment, summed over the requested topology's edges. The
+     * similar-topology strategy minimizes TED first and this second:
+     * an unmatched virtual edge costs whatever hop distance its
+     * endpoints land at, so the refinement keeps them close.
+     */
+    std::uint64_t wirelength(const graph::Graph& vtopo,
+                             const std::vector<CoreId>& assignment) const;
+
+  private:
+    MappingResult map_exact(const MappingRequest& req, CoreMask free) const;
+    MappingResult map_straightforward(const MappingRequest& req,
+                                      CoreMask free) const;
+    MappingResult map_similar(const MappingRequest& req, CoreMask free,
+                              bool allow_fragmented) const;
+    std::vector<graph::NodeMask> collect_candidates(
+        const MappingRequest& req, CoreMask free, std::uint64_t* seen) const;
+
+    /** 2-opt swaps of the assignment minimizing wirelength. */
+    void refine_wirelength(const graph::Graph& vtopo,
+                           std::vector<CoreId>& assignment) const;
+
+    const noc::MeshTopology& topo_;
+};
+
+} // namespace vnpu::hyp
+
+#endif // VNPU_HYP_TOPOLOGY_MAPPER_H

@@ -1,0 +1,100 @@
+#include "mem/buddy_allocator.h"
+
+#include "sim/log.h"
+
+namespace vnpu::mem {
+
+namespace {
+
+bool
+is_pow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+BuddyAllocator::BuddyAllocator(Addr base, std::uint64_t size,
+                               std::uint64_t min_block)
+    : base_(base), size_(size), min_block_(min_block), free_bytes_(size)
+{
+    if (!is_pow2(size) || !is_pow2(min_block) || min_block > size)
+        fatal("buddy allocator needs power-of-two size/min_block");
+    max_order_ = 0;
+    while (order_bytes(max_order_) < size_)
+        ++max_order_;
+    free_lists_.resize(max_order_ + 1);
+    free_lists_[max_order_].insert(0);
+}
+
+int
+BuddyAllocator::order_of(std::uint64_t bytes) const
+{
+    int order = 0;
+    while (order_bytes(order) < bytes)
+        ++order;
+    return order;
+}
+
+std::optional<Addr>
+BuddyAllocator::alloc(std::uint64_t bytes)
+{
+    if (bytes == 0 || bytes > size_)
+        return std::nullopt;
+    int want = order_of(bytes);
+
+    // Find the smallest free block that fits.
+    int have = want;
+    while (have <= max_order_ && free_lists_[have].empty())
+        ++have;
+    if (have > max_order_)
+        return std::nullopt;
+
+    std::uint64_t off = *free_lists_[have].begin();
+    free_lists_[have].erase(free_lists_[have].begin());
+
+    // Split down to the requested order.
+    while (have > want) {
+        --have;
+        free_lists_[have].insert(off + order_bytes(have));
+    }
+
+    allocated_[off] = want;
+    free_bytes_ -= order_bytes(want);
+    return base_ + off;
+}
+
+void
+BuddyAllocator::free(Addr addr)
+{
+    std::uint64_t off = addr - base_;
+    auto it = allocated_.find(off);
+    if (it == allocated_.end())
+        fatal("buddy free of unallocated address ", addr);
+    int order = it->second;
+    allocated_.erase(it);
+    free_bytes_ += order_bytes(order);
+
+    // Coalesce with the buddy while possible.
+    while (order < max_order_) {
+        std::uint64_t buddy = off ^ order_bytes(order);
+        auto bit = free_lists_[order].find(buddy);
+        if (bit == free_lists_[order].end())
+            break;
+        free_lists_[order].erase(bit);
+        off = std::min(off, buddy);
+        ++order;
+    }
+    free_lists_[order].insert(off);
+}
+
+std::uint64_t
+BuddyAllocator::block_size(Addr addr) const
+{
+    auto it = allocated_.find(addr - base_);
+    if (it == allocated_.end())
+        fatal("block_size of unallocated address ", addr);
+    return order_bytes(it->second);
+}
+
+} // namespace vnpu::mem

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Buddy allocator for NPU global memory.
+ *
+ * The hypervisor uses the traditional buddy system (paper §5.2) to carve
+ * HBM blocks for virtual NPUs; each allocated block maps directly to one
+ * range-translation-table entry, with no further page-granular split.
+ */
+
+#ifndef VNPU_MEM_BUDDY_ALLOCATOR_H
+#define VNPU_MEM_BUDDY_ALLOCATOR_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vnpu::mem {
+
+/** Power-of-two buddy allocator over [base, base + size). */
+class BuddyAllocator {
+  public:
+    /**
+     * @param base      start of the managed region (block-aligned)
+     * @param size      managed bytes (power of two)
+     * @param min_block smallest block handed out (power of two)
+     */
+    BuddyAllocator(Addr base, std::uint64_t size, std::uint64_t min_block);
+
+    /**
+     * Allocate a block of at least `bytes` (rounded to a power of two).
+     * @return the block address, or std::nullopt when out of memory.
+     */
+    std::optional<Addr> alloc(std::uint64_t bytes);
+
+    /** Return a block obtained from alloc(). */
+    void free(Addr addr);
+
+    /** Size actually reserved for the block at `addr`. */
+    std::uint64_t block_size(Addr addr) const;
+
+    std::uint64_t free_bytes() const { return free_bytes_; }
+    std::uint64_t used_bytes() const { return size_ - free_bytes_; }
+    std::uint64_t capacity() const { return size_; }
+
+    /** Number of live allocations. */
+    std::size_t live_blocks() const { return allocated_.size(); }
+
+  private:
+    int order_of(std::uint64_t bytes) const;
+    std::uint64_t order_bytes(int order) const
+    {
+        return min_block_ << order;
+    }
+
+    Addr base_;
+    std::uint64_t size_;
+    std::uint64_t min_block_;
+    int max_order_;
+    std::uint64_t free_bytes_;
+    /** Free block start offsets per order. */
+    std::vector<std::set<std::uint64_t>> free_lists_;
+    /** Live allocations: offset -> order. */
+    std::map<std::uint64_t, int> allocated_;
+};
+
+} // namespace vnpu::mem
+
+#endif // VNPU_MEM_BUDDY_ALLOCATOR_H

@@ -1,0 +1,84 @@
+#include "mem/dma.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace vnpu::mem {
+
+DmaEngine::DmaEngine(const SocConfig& cfg, DramModel& dram, int channel,
+                     CoreId core)
+    : cfg_(cfg), dram_(dram), channel_(channel), core_(core)
+{
+}
+
+Tick
+DmaEngine::load(Tick start, Addr va, std::uint64_t bytes, VmId vm)
+{
+    return transfer(start, va, bytes, vm, kPermRead);
+}
+
+Tick
+DmaEngine::store(Tick start, Addr va, std::uint64_t bytes, VmId vm)
+{
+    return transfer(start, va, bytes, vm, kPermWrite);
+}
+
+Tick
+DmaEngine::transfer(Tick start, Addr va, std::uint64_t bytes, VmId vm,
+                    Perm perm)
+{
+    VNPU_ASSERT(bytes > 0);
+    ++stats_.transfers;
+    stats_.bytes += bytes;
+    if (trace_)
+        trace_->record(core_, iteration_, va, bytes, start);
+
+    Translator* tr = translator_ ? translator_ : &identity_;
+
+    Tick t = start;
+    Addr cur = va;
+    std::uint64_t remain = bytes;
+    while (remain > 0) {
+        TranslationResult res = tr->translate(cur, remain, perm);
+        if (res.fault) {
+            fatal("DMA translation fault at VA ", cur, " (", tr->name(),
+                  ", vm ", vm, ")");
+        }
+        stats_.translation_stall += res.stall;
+        t += res.stall; // a miss stalls the whole DMA pipeline
+
+        std::uint64_t seg = std::min(res.seg_bytes, remain);
+        VNPU_ASSERT(seg > 0);
+        Tick done = dram_.transfer(t, channel_, seg, vm);
+
+        // Per-engine bandwidth cap: the access counter delays
+        // completions so the sustained rate stays at cap_rate_.
+        if (cap_rate_ > 0.0) {
+            Cycles cap_cycles =
+                static_cast<Cycles>(std::ceil(seg / cap_rate_));
+            Tick cap_done = std::max(t, cap_busy_) + cap_cycles;
+            if (cap_done > done) {
+                stats_.throttle_stall += cap_done - done;
+                done = cap_done;
+            }
+            cap_busy_ = done;
+        }
+        // VM-aggregate cap shared across the virtual NPU's cores.
+        if (shared_cap_ != nullptr) {
+            Tick cap_done = shared_cap_->acquire(t, seg);
+            if (cap_done > done) {
+                stats_.throttle_stall += cap_done - done;
+                done = cap_done;
+            }
+        }
+
+        t = done;
+        cur += seg;
+        remain -= seg;
+    }
+    return t;
+}
+
+} // namespace vnpu::mem

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Per-core DMA engine moving data between HBM and the scratchpad.
+ *
+ * The engine streams a chunk as back-to-back bursts on the core's HBM
+ * channel. Every translation-segment boundary (page or range) consults
+ * the configured Translator; translation stalls block the DMA pipeline,
+ * reproducing the paper's "a TLB miss can obstruct substantial data
+ * transfers" effect. An optional token-style bandwidth cap implements
+ * vChunk's per-vNPU memory-rate restriction.
+ */
+
+#ifndef VNPU_MEM_DMA_H
+#define VNPU_MEM_DMA_H
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mem/dram.h"
+#include "mem/trace.h"
+#include "mem/translate.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace vnpu::mem {
+
+/**
+ * Token bucket shared by every core of one virtual NPU: the access
+ * counters report to it so the VM's *aggregate* DMA rate honors the
+ * hypervisor-assigned bandwidth share (paper §4.2).
+ */
+class SharedBandwidthLimiter {
+  public:
+    explicit SharedBandwidthLimiter(double bytes_per_cycle)
+        : rate_(bytes_per_cycle)
+    {
+    }
+
+    /** Reserve bandwidth for `bytes`; returns the capped completion. */
+    Tick
+    acquire(Tick start, std::uint64_t bytes)
+    {
+        if (rate_ <= 0)
+            return start;
+        Cycles cycles = static_cast<Cycles>(bytes / rate_) + 1;
+        busy_ = std::max(start, busy_) + cycles;
+        return busy_;
+    }
+
+    double rate() const { return rate_; }
+
+  private:
+    double rate_;
+    Tick busy_ = 0;
+};
+
+/** DMA statistics exported to harnesses. */
+struct DmaStats {
+    Counter transfers;
+    Counter bytes;
+    Counter translation_stall;  ///< Cycles lost to translation.
+    Counter throttle_stall;     ///< Cycles lost to the bandwidth cap.
+};
+
+/** One NPU core's DMA engine. */
+class DmaEngine {
+  public:
+    /**
+     * @param cfg     SoC configuration (burst size, rates)
+     * @param dram    shared HBM model
+     * @param channel HBM channel this core's interface attaches to
+     * @param core    owning core id (trace annotation)
+     */
+    DmaEngine(const SocConfig& cfg, DramModel& dram, int channel,
+              CoreId core);
+
+    /** Select the translation scheme (not owned; nullptr = identity). */
+    void set_translator(Translator* t) { translator_ = t; }
+    Translator* translator() const { return translator_; }
+
+    /**
+     * Cap this engine's sustained rate at `bytes_per_cycle`
+     * (<= 0 disables the cap). Implements the vChunk access counter's
+     * bandwidth restriction.
+     */
+    void set_bandwidth_cap(double bytes_per_cycle)
+    {
+        cap_rate_ = bytes_per_cycle;
+    }
+
+    /** VM-aggregate limiter (not owned; nullptr = uncapped). */
+    void set_shared_cap(SharedBandwidthLimiter* cap) { shared_cap_ = cap; }
+
+    /** Attach a trace recorder (Figure 6 experiments); may be null. */
+    void set_trace(MemTraceRecorder* trace) { trace_ = trace; }
+
+    /** Current iteration index used for trace annotation. */
+    void set_iteration(std::uint32_t iter) { iteration_ = iter; }
+
+    /**
+     * Load `bytes` from global VA `va` into the scratchpad.
+     * @return completion tick.
+     */
+    Tick load(Tick start, Addr va, std::uint64_t bytes, VmId vm);
+
+    /** Store `bytes` from the scratchpad to global VA `va`. */
+    Tick store(Tick start, Addr va, std::uint64_t bytes, VmId vm);
+
+    const DmaStats& stats() const { return stats_; }
+    int channel() const { return channel_; }
+
+  private:
+    Tick transfer(Tick start, Addr va, std::uint64_t bytes, VmId vm,
+                  Perm perm);
+
+    const SocConfig& cfg_;
+    DramModel& dram_;
+    int channel_;
+    CoreId core_;
+    Translator* translator_ = nullptr;
+    MemTraceRecorder* trace_ = nullptr;
+    IdentityTranslator identity_;
+    double cap_rate_ = 0.0;
+    Tick cap_busy_ = 0;
+    SharedBandwidthLimiter* shared_cap_ = nullptr;
+    std::uint32_t iteration_ = 0;
+    DmaStats stats_;
+};
+
+} // namespace vnpu::mem
+
+#endif // VNPU_MEM_DMA_H

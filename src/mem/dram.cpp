@@ -1,0 +1,48 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace vnpu::mem {
+
+DramModel::DramModel(const SocConfig& cfg)
+    : rate_(cfg.hbm_bytes_per_cycle / cfg.hbm_channels),
+      busy_(cfg.hbm_channels, 0)
+{
+}
+
+Tick
+DramModel::transfer(Tick start, int channel, std::uint64_t bytes, VmId vm)
+{
+    VNPU_ASSERT(channel >= 0 && channel < num_channels());
+    Cycles cycles = static_cast<Cycles>(std::ceil(bytes / rate_));
+    Tick done = std::max(start, busy_[channel]) + cycles;
+    busy_[channel] = done;
+    bytes_ += bytes;
+    if (vm >= 0) {
+        if (static_cast<std::size_t>(vm) >= vm_bytes_.size())
+            vm_bytes_.resize(vm + 1, 0);
+        vm_bytes_[vm] += bytes;
+    }
+    return done;
+}
+
+std::uint64_t
+DramModel::bytes_of_vm(VmId vm) const
+{
+    if (vm < 0 || static_cast<std::size_t>(vm) >= vm_bytes_.size())
+        return 0;
+    return vm_bytes_[vm];
+}
+
+void
+DramModel::reset()
+{
+    std::fill(busy_.begin(), busy_.end(), 0);
+    bytes_.reset();
+    vm_bytes_.clear();
+}
+
+} // namespace vnpu::mem

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Global memory (HBM/DRAM) bandwidth model with independent channels.
+ *
+ * Each channel serves transfers in arrival order at a fixed byte rate;
+ * concurrent virtual NPUs sharing a channel contend through the
+ * busy-until reservation, which is exactly the memory-interference
+ * effect the paper measures for UVM-based virtual NPUs.
+ */
+
+#ifndef VNPU_MEM_DRAM_H
+#define VNPU_MEM_DRAM_H
+
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace vnpu::mem {
+
+/** Multi-channel HBM/DRAM model. */
+class DramModel {
+  public:
+    explicit DramModel(const SocConfig& cfg);
+
+    /**
+     * Occupy `channel` for a `bytes`-byte transfer not starting before
+     * `start`. @return tick when the transfer completes.
+     */
+    Tick transfer(Tick start, int channel, std::uint64_t bytes, VmId vm);
+
+    int num_channels() const { return static_cast<int>(busy_.size()); }
+
+    /** Per-channel bandwidth in bytes per cycle. */
+    double channel_rate() const { return rate_; }
+
+    /** Tick until which `channel` is reserved. */
+    Tick busy_until(int channel) const { return busy_[channel]; }
+
+    std::uint64_t total_bytes() const { return bytes_.value(); }
+    std::uint64_t bytes_of_vm(VmId vm) const;
+
+    void reset();
+
+  private:
+    double rate_;
+    std::vector<Tick> busy_;
+    Counter bytes_;
+    std::vector<std::uint64_t> vm_bytes_; // indexed by vm id (small)
+};
+
+} // namespace vnpu::mem
+
+#endif // VNPU_MEM_DRAM_H

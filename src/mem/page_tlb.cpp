@@ -1,0 +1,95 @@
+#include "mem/page_tlb.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace vnpu::mem {
+
+namespace {
+
+int
+log2_of(std::uint64_t v)
+{
+    VNPU_ASSERT(v != 0 && (v & (v - 1)) == 0);
+    return __builtin_ctzll(v);
+}
+
+} // namespace
+
+PageTable::PageTable(std::uint64_t page_bytes)
+    : page_bytes_(page_bytes), shift_(log2_of(page_bytes))
+{
+}
+
+void
+PageTable::map_range(Addr va, Addr pa, std::uint64_t size, std::uint8_t perm)
+{
+    if ((va | pa | size) & (page_bytes_ - 1))
+        fatal("map_range arguments must be page-aligned");
+    for (std::uint64_t off = 0; off < size; off += page_bytes_)
+        pages_[(va + off) >> shift_] = Pte{(pa + off), perm};
+}
+
+TranslationResult
+PageTable::lookup(Addr va, Perm perm) const
+{
+    auto it = pages_.find(va >> shift_);
+    if (it == pages_.end() || !(it->second.perm & perm))
+        return {0, 0, 0, true};
+    Addr page_off = va & (page_bytes_ - 1);
+    return {it->second.pa_page + page_off, page_bytes_ - page_off, 0, false};
+}
+
+PageTlbTranslator::PageTlbTranslator(const SocConfig& cfg,
+                                     const PageTable& table, int entries)
+    : cfg_(cfg), table_(table), entries_(static_cast<std::size_t>(entries))
+{
+    if (entries <= 0)
+        fatal("page TLB needs at least one entry");
+}
+
+TranslationResult
+PageTlbTranslator::translate(Addr va, std::uint64_t bytes, Perm perm)
+{
+    TranslationResult res = table_.lookup(va, perm);
+    if (res.fault)
+        return res;
+    res.seg_bytes = std::min(res.seg_bytes, bytes);
+
+    Addr vpn = va / table_.page_bytes();
+    auto it = present_.find(vpn);
+    if (it != present_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return res;
+    }
+
+    // Miss: page walk. Larger TLBs sustain more translations in flight,
+    // hiding part of the walk under the preceding bursts.
+    ++misses_;
+    double overlap = std::min(cfg_.walk_overlap_max,
+                              cfg_.walk_overlap_per_entry *
+                                  static_cast<double>(entries_));
+    Cycles stall = static_cast<Cycles>(
+        static_cast<double>(cfg_.page_walk_cycles) * (1.0 - overlap));
+    res.stall = stall;
+    stall_ += stall;
+
+    lru_.push_front(vpn);
+    present_[vpn] = lru_.begin();
+    if (lru_.size() > entries_) {
+        present_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return res;
+}
+
+void
+PageTlbTranslator::flush()
+{
+    lru_.clear();
+    present_.clear();
+}
+
+} // namespace vnpu::mem

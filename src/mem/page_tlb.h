@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Page-based translation baseline (the "IOTLB" of Figure 14).
+ *
+ * Monolithic-NPU virtualization proposals translate DMA traffic through
+ * a conventional page table and a small IOTLB. Under the NPU's bursty
+ * DMA streams this thrashes: every page crossing risks a walk that
+ * stalls the DMA pipeline. vNPU's vChunk (mem/range_table.h) replaces
+ * this with range translation.
+ */
+
+#ifndef VNPU_MEM_PAGE_TLB_H
+#define VNPU_MEM_PAGE_TLB_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/translate.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace vnpu::mem {
+
+/** A guest-physical page table populated from mapped ranges. */
+class PageTable {
+  public:
+    explicit PageTable(std::uint64_t page_bytes);
+
+    /** Map the range [va, va+size) to [pa, pa+size), page-aligned. */
+    void map_range(Addr va, Addr pa, std::uint64_t size, std::uint8_t perm);
+
+    /** Translate one page; fault when unmapped or perm missing. */
+    TranslationResult lookup(Addr va, Perm perm) const;
+
+    std::uint64_t page_bytes() const { return page_bytes_; }
+    std::size_t num_pages() const { return pages_.size(); }
+
+  private:
+    struct Pte {
+        Addr pa_page;
+        std::uint8_t perm;
+    };
+
+    std::uint64_t page_bytes_;
+    std::unordered_map<Addr, Pte> pages_; // key: va >> page_shift
+    int shift_;
+};
+
+/** LRU page TLB with a fixed entry count, modelling walk stalls. */
+class PageTlbTranslator final : public Translator {
+  public:
+    /**
+     * @param cfg      timing constants (walk latency, overlap factor)
+     * @param table    backing page table (owned by the hypervisor)
+     * @param entries  number of TLB entries (4 or 32 in Figure 14)
+     */
+    PageTlbTranslator(const SocConfig& cfg, const PageTable& table,
+                      int entries);
+
+    TranslationResult translate(Addr va, std::uint64_t bytes,
+                                Perm perm) override;
+
+    const char* name() const override { return "page-tlb"; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    Cycles stall_cycles() const { return stall_.value(); }
+
+    void flush();
+
+  private:
+    const SocConfig& cfg_;
+    const PageTable& table_;
+    std::size_t entries_;
+    /** LRU order: front = most recent. Values are VA page numbers. */
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> present_;
+    Counter hits_;
+    Counter misses_;
+    Counter stall_;
+};
+
+} // namespace vnpu::mem
+
+#endif // VNPU_MEM_PAGE_TLB_H

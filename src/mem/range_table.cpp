@@ -1,0 +1,151 @@
+#include "mem/range_table.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace vnpu::mem {
+
+void
+RangeTable::add(Addr va, Addr pa, std::uint64_t size, std::uint8_t perm)
+{
+    if (size == 0)
+        fatal("RTT entry must have nonzero size");
+    entries_.push_back(RttEntry{va, pa, size, perm, -1});
+    finalized_ = false;
+}
+
+void
+RangeTable::finalize()
+{
+    std::sort(entries_.begin(), entries_.end(),
+              [](const RttEntry& a, const RttEntry& b) {
+                  return a.va < b.va;
+              });
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        if (entries_[i - 1].va + entries_[i - 1].size > entries_[i].va) {
+            fatal("overlapping RTT ranges at VA ", entries_[i].va);
+        }
+    }
+    if (entries_.size() > 256)
+        fatal("RTT limited to 256 entries (8-bit last_v index)");
+    finalized_ = true;
+}
+
+std::optional<std::size_t>
+RangeTable::find(Addr va) const
+{
+    VNPU_ASSERT(finalized_);
+    // Last entry with entry.va <= va.
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), va,
+        [](Addr a, const RttEntry& e) { return a < e.va; });
+    if (it == entries_.begin())
+        return std::nullopt;
+    --it;
+    if (!it->contains(va))
+        return std::nullopt;
+    return static_cast<std::size_t>(it - entries_.begin());
+}
+
+RangeTlbTranslator::RangeTlbTranslator(const SocConfig& cfg,
+                                       RangeTable& table, int entries)
+    : cfg_(cfg), table_(table), capacity_(static_cast<std::size_t>(entries))
+{
+    if (entries <= 0)
+        fatal("range TLB needs at least one entry");
+}
+
+std::optional<std::size_t>
+RangeTlbTranslator::walk(Addr va, int& fetches)
+{
+    const std::size_t n = table_.size();
+    if (n == 0)
+        return std::nullopt;
+
+    // 1. last_v shortcut: the entry that followed prev_entry_ in the
+    //    previous iteration is the most likely next range.
+    if (prev_entry_ >= 0) {
+        std::int16_t lv = table_.entry(prev_entry_).last_v;
+        if (lv >= 0 && static_cast<std::size_t>(lv) < n) {
+            ++fetches;
+            if (table_.entry(lv).contains(va)) {
+                ++last_v_hits_;
+                return static_cast<std::size_t>(lv);
+            }
+        }
+    }
+
+    // 2. Monotonic scan from RTT_CUR, wrapping at RTT_END to RTT_BASE.
+    for (std::size_t step = 0; step < n; ++step) {
+        std::size_t idx = (rtt_cur_ + step) % n;
+        ++fetches;
+        if (table_.entry(idx).contains(va))
+            return idx;
+    }
+    return std::nullopt;
+}
+
+TranslationResult
+RangeTlbTranslator::translate(Addr va, std::uint64_t bytes, Perm perm)
+{
+    VNPU_ASSERT(table_.finalized());
+
+    // Range TLB lookup (content-associative over resident entries).
+    std::size_t entry_idx = SIZE_MAX;
+    for (std::size_t i = 0; i < tlb_.size(); ++i) {
+        if (table_.entry(tlb_[i]).contains(va)) {
+            entry_idx = tlb_[i];
+            // Move to MRU position.
+            tlb_.erase(tlb_.begin() + static_cast<std::ptrdiff_t>(i));
+            tlb_.insert(tlb_.begin(), entry_idx);
+            ++hits_;
+            break;
+        }
+    }
+
+    Cycles stall = 0;
+    if (entry_idx == SIZE_MAX) {
+        ++misses_;
+        int fetches = 0;
+        std::optional<std::size_t> found = walk(va, fetches);
+        fetched_ += static_cast<std::uint64_t>(fetches);
+        stall = static_cast<Cycles>(fetches) * cfg_.rtt_fetch_cycles;
+        stall_ += stall;
+        if (!found)
+            return {0, 0, stall, true};
+        entry_idx = *found;
+
+        // Refill TLB (LRU).
+        tlb_.insert(tlb_.begin(), entry_idx);
+        if (tlb_.size() > capacity_)
+            tlb_.pop_back();
+
+        // Teach the previous entry where we went (Pattern-3).
+        if (prev_entry_ >= 0 && prev_entry_ != static_cast<int>(entry_idx)) {
+            table_.entry(prev_entry_).last_v =
+                static_cast<std::int16_t>(entry_idx);
+        }
+    }
+
+    const RttEntry& e = table_.entry(entry_idx);
+    if (!(e.perm & perm))
+        return {0, 0, stall, true};
+
+    rtt_cur_ = entry_idx;
+    prev_entry_ = static_cast<std::int32_t>(entry_idx);
+
+    std::uint64_t off = va - e.va;
+    std::uint64_t remain = e.size - off;
+    return {e.pa + off, std::min(remain, bytes), stall, false};
+}
+
+void
+RangeTlbTranslator::flush()
+{
+    tlb_.clear();
+    rtt_cur_ = 0;
+    prev_entry_ = -1;
+}
+
+} // namespace vnpu::mem

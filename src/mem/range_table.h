@@ -1,0 +1,118 @@
+/**
+ * @file
+ * vChunk's Range Translation Table (RTT) and range TLB (paper §4.2).
+ *
+ * Each RTT entry maps a whole buddy-allocated block: VA (48 bits),
+ * PA (48 bits), size (32 bits), permissions (4 bits) and `last_v`
+ * (8 bits) — 144 bits per entry, matching the paper. Entries are sorted
+ * by virtual address. The device-side walker exploits the NPU's access
+ * patterns:
+ *
+ *  - Pattern-2 (monotonic within an iteration): `RTT_CUR` points at the
+ *    entry in use; on a miss the walker scans forward from it, wrapping
+ *    at RTT_END back to RTT_BASE.
+ *  - Pattern-3 (iterative reuse): `last_v` on each entry remembers which
+ *    entry followed it in the previous iteration, so the wrap back to
+ *    the first tensor at an iteration boundary costs one fetch.
+ */
+
+#ifndef VNPU_MEM_RANGE_TABLE_H
+#define VNPU_MEM_RANGE_TABLE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/translate.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace vnpu::mem {
+
+/** One range translation table entry (144 bits in hardware). */
+struct RttEntry {
+    Addr va = 0;              ///< Virtual start (48 bits in hardware).
+    Addr pa = 0;              ///< Physical start (48 bits).
+    std::uint64_t size = 0;   ///< Range size in bytes (32 bits).
+    std::uint8_t perm = 0;    ///< Permission bits (4 bits).
+    /** Index of the entry accessed after this one last iteration
+     *  (8 bits); -1 when not yet recorded. */
+    std::int16_t last_v = -1;
+
+    bool contains(Addr a) const { return a >= va && a < va + size; }
+};
+
+/** The memory image of one virtual NPU's RTT (hypervisor-managed). */
+class RangeTable {
+  public:
+    /** Entries must be added in any order; finalize() sorts by VA. */
+    void add(Addr va, Addr pa, std::uint64_t size, std::uint8_t perm);
+
+    /** Sort by VA and verify ranges do not overlap. */
+    void finalize();
+
+    std::size_t size() const { return entries_.size(); }
+    const RttEntry& entry(std::size_t i) const { return entries_[i]; }
+    RttEntry& entry(std::size_t i) { return entries_[i]; }
+
+    /** Host-side lookup by binary search (no timing model). */
+    std::optional<std::size_t> find(Addr va) const;
+
+    /** Meta-zone bytes consumed: 144 bits per entry, byte-rounded. */
+    std::uint64_t footprint_bytes() const { return entries_.size() * 18; }
+
+    bool finalized() const { return finalized_; }
+
+  private:
+    std::vector<RttEntry> entries_;
+    bool finalized_ = false;
+};
+
+/**
+ * Device-side range TLB with the RTT_CUR / last_v walk model.
+ * This is the translation path of a single NPU core's DMA engine.
+ */
+class RangeTlbTranslator final : public Translator {
+  public:
+    /**
+     * @param cfg     timing constants (per-entry meta-zone fetch cost)
+     * @param table   the VM's range table (hypervisor-owned)
+     * @param entries number of hardware range-TLB entries (4 suffices)
+     */
+    RangeTlbTranslator(const SocConfig& cfg, RangeTable& table, int entries);
+
+    TranslationResult translate(Addr va, std::uint64_t bytes,
+                                Perm perm) override;
+
+    const char* name() const override { return "vchunk-rtt"; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    /** Misses resolved by the `last_v` shortcut (one fetch). */
+    std::uint64_t last_v_hits() const { return last_v_hits_.value(); }
+    std::uint64_t entries_fetched() const { return fetched_.value(); }
+    Cycles stall_cycles() const { return stall_.value(); }
+
+    void flush();
+
+  private:
+    /** Walk the RTT for `va`; returns entry index and fetch count. */
+    std::optional<std::size_t> walk(Addr va, int& fetches);
+
+    const SocConfig& cfg_;
+    RangeTable& table_;
+    std::size_t capacity_;
+    std::vector<std::size_t> tlb_;  ///< Resident entry indices, MRU first.
+    std::size_t rtt_cur_ = 0;       ///< Device RTT_CUR register.
+    std::int32_t prev_entry_ = -1;  ///< Entry used by the last access.
+    Counter hits_;
+    Counter misses_;
+    Counter last_v_hits_;
+    Counter fetched_;
+    Counter stall_;
+};
+
+} // namespace vnpu::mem
+
+#endif // VNPU_MEM_RANGE_TABLE_H

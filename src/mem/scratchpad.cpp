@@ -1,0 +1,52 @@
+#include "mem/scratchpad.h"
+
+#include "sim/log.h"
+
+namespace vnpu::mem {
+
+Scratchpad::Scratchpad(std::uint64_t capacity, std::uint64_t meta_zone)
+    : capacity_(capacity), meta_zone_(meta_zone)
+{
+    if (meta_zone >= capacity)
+        fatal("meta-zone (", meta_zone, ") must leave weight-zone space in ",
+              capacity, "-byte scratchpad");
+}
+
+std::uint64_t
+Scratchpad::alloc_weight(const std::string& name, std::uint64_t bytes)
+{
+    if (!weight_fits(bytes)) {
+        fatal("weight-zone overflow: ", name, " needs ", bytes,
+              " bytes but only ", weight_zone_capacity() - weight_used_,
+              " of ", weight_zone_capacity(), " remain");
+    }
+    std::uint64_t off = weight_used_;
+    weight_used_ += bytes;
+    buffers_.emplace_back(name, bytes);
+    return off;
+}
+
+bool
+Scratchpad::weight_fits(std::uint64_t bytes) const
+{
+    return weight_used_ + bytes <= weight_zone_capacity();
+}
+
+void
+Scratchpad::release_weights()
+{
+    weight_used_ = 0;
+    buffers_.clear();
+}
+
+void
+Scratchpad::set_meta_usage(std::uint64_t bytes)
+{
+    if (bytes > meta_zone_) {
+        fatal("meta tables (", bytes, " bytes) exceed the ", meta_zone_,
+              "-byte meta-zone");
+    }
+    meta_used_ = bytes;
+}
+
+} // namespace vnpu::mem

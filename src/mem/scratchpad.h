@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-core scratchpad SRAM capacity model.
+ *
+ * vNPU partitions each core's SRAM into a hypervisor-owned *meta-zone*
+ * (routing table, range translation table) and a *weight-zone* holding
+ * model weights and intermediate results (paper §5.1). This class does
+ * the capacity accounting and enforces the meta-zone write restriction.
+ */
+
+#ifndef VNPU_MEM_SCRATCHPAD_H
+#define VNPU_MEM_SCRATCHPAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vnpu::mem {
+
+/** Capacity accounting for one core's scratchpad. */
+class Scratchpad {
+  public:
+    /**
+     * @param capacity  total SRAM bytes
+     * @param meta_zone bytes reserved for hypervisor meta tables
+     */
+    Scratchpad(std::uint64_t capacity, std::uint64_t meta_zone);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t meta_zone_capacity() const { return meta_zone_; }
+    std::uint64_t weight_zone_capacity() const
+    {
+        return capacity_ - meta_zone_;
+    }
+
+    /**
+     * Reserve `bytes` of the weight-zone for a named buffer.
+     * @return offset of the buffer inside the weight-zone.
+     * Calls fatal() when the weight-zone overflows (the compiler must
+     * have planned streaming instead).
+     */
+    std::uint64_t alloc_weight(const std::string& name, std::uint64_t bytes);
+
+    /** True when `bytes` more weight-zone bytes would still fit. */
+    bool weight_fits(std::uint64_t bytes) const;
+
+    std::uint64_t weight_used() const { return weight_used_; }
+
+    /** Release all weight-zone buffers (program unload / TDM swap). */
+    void release_weights();
+
+    /**
+     * Record meta-table residency (hyper-mode controller only).
+     * Calls fatal() when the tables exceed the meta-zone.
+     */
+    void set_meta_usage(std::uint64_t bytes);
+
+    std::uint64_t meta_used() const { return meta_used_; }
+
+    /** Named buffers currently resident (for debugging/tests). */
+    const std::vector<std::pair<std::string, std::uint64_t>>&
+    buffers() const
+    {
+        return buffers_;
+    }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t meta_zone_;
+    std::uint64_t weight_used_ = 0;
+    std::uint64_t meta_used_ = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> buffers_;
+};
+
+} // namespace vnpu::mem
+
+#endif // VNPU_MEM_SCRATCHPAD_H

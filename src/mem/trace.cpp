@@ -1,0 +1,50 @@
+#include "mem/trace.h"
+
+#include <map>
+
+namespace vnpu::mem {
+
+std::vector<TraceRecord>
+MemTraceRecorder::of(CoreId core, std::uint32_t iteration) const
+{
+    std::vector<TraceRecord> out;
+    for (const TraceRecord& r : records_)
+        if (r.core == core && r.iteration == iteration)
+            out.push_back(r);
+    return out;
+}
+
+bool
+MemTraceRecorder::monotonic_within_iterations() const
+{
+    // (core, iteration) -> last VA seen.
+    std::map<std::pair<CoreId, std::uint32_t>, Addr> last;
+    for (const TraceRecord& r : records_) {
+        auto key = std::make_pair(r.core, r.iteration);
+        auto it = last.find(key);
+        if (it != last.end() && r.va < it->second)
+            return false;
+        last[key] = r.va;
+    }
+    return true;
+}
+
+bool
+MemTraceRecorder::repeating_across_iterations() const
+{
+    // core -> iteration -> address sequence.
+    std::map<CoreId, std::map<std::uint32_t, std::vector<Addr>>> seqs;
+    for (const TraceRecord& r : records_)
+        seqs[r.core][r.iteration].push_back(r.va);
+    for (const auto& [core, by_iter] : seqs) {
+        if (by_iter.empty())
+            continue;
+        const std::vector<Addr>& ref = by_iter.begin()->second;
+        for (const auto& [iter, seq] : by_iter)
+            if (seq != ref)
+                return false;
+    }
+    return true;
+}
+
+} // namespace vnpu::mem

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Address-translation interface shared by the DMA engine and the
+ * translation schemes (identity/physical, page TLB, vChunk range TLB).
+ */
+
+#ifndef VNPU_MEM_TRANSLATE_H
+#define VNPU_MEM_TRANSLATE_H
+
+#include "sim/types.h"
+
+namespace vnpu::mem {
+
+/** Access permissions attached to a mapping. */
+enum Perm : std::uint8_t {
+    kPermRead = 1,
+    kPermWrite = 2,
+    kPermExec = 4,
+};
+
+/** Result of translating the start of a DMA segment. */
+struct TranslationResult {
+    Addr pa = 0;              ///< Physical address of `va`.
+    std::uint64_t seg_bytes = 0; ///< Contiguous bytes valid from `va`.
+    Cycles stall = 0;         ///< Cycles the DMA pipeline stalls.
+    bool fault = false;       ///< No mapping / permission violation.
+};
+
+/** Abstract translation scheme. */
+class Translator {
+  public:
+    virtual ~Translator() = default;
+
+    /**
+     * Translate `va` for an access of up to `bytes` bytes with
+     * permission `perm`. `seg_bytes` in the result may be smaller than
+     * `bytes` (segment ends at a page/range boundary); the caller
+     * continues with the next segment.
+     */
+    virtual TranslationResult translate(Addr va, std::uint64_t bytes,
+                                        Perm perm) = 0;
+
+    /** Human-readable scheme name for reports. */
+    virtual const char* name() const = 0;
+};
+
+/** Pass-through translation (bare-metal / physical memory). */
+class IdentityTranslator final : public Translator {
+  public:
+    TranslationResult
+    translate(Addr va, std::uint64_t bytes, Perm) override
+    {
+        return {va, bytes, 0, false};
+    }
+
+    const char* name() const override { return "physical"; }
+};
+
+} // namespace vnpu::mem
+
+#endif // VNPU_MEM_TRANSLATE_H

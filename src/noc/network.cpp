@@ -1,0 +1,211 @@
+#include "noc/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace vnpu::noc {
+
+int
+RouteOverride::next_hop(int cur, int dst) const
+{
+    auto it = next_.find(key(cur, dst));
+    return it == next_.end() ? kInvalidCore : it->second;
+}
+
+RouteOverride
+RouteOverride::build_confined(const MeshTopology& topo, CoreMask region)
+{
+    RouteOverride ov;
+    std::vector<int> nodes;
+    for (int id = 0; id < topo.num_nodes(); ++id)
+        if (region & core_bit(id))
+            nodes.push_back(id);
+
+    // BFS from each destination over region-internal links; parent
+    // pointers give the next hop toward that destination.
+    for (int dst : nodes) {
+        std::vector<int> dist(topo.num_nodes(), -1);
+        std::vector<int> queue{dst};
+        dist[dst] = 0;
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            int v = queue[head];
+            for (Direction d : {Direction::kEast, Direction::kWest,
+                                Direction::kNorth, Direction::kSouth}) {
+                int u = topo.neighbor(v, d);
+                if (u == kInvalidCore || !(region & core_bit(u)))
+                    continue;
+                if (dist[u] == -1) {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        for (int cur : nodes) {
+            if (cur == dst)
+                continue;
+            if (dist[cur] == -1)
+                fatal("route override: region is disconnected between ",
+                      cur, " and ", dst);
+            // Smallest-id neighbor one step closer to dst.
+            int best = kInvalidCore;
+            for (Direction d : {Direction::kEast, Direction::kWest,
+                                Direction::kNorth, Direction::kSouth}) {
+                int u = topo.neighbor(cur, d);
+                if (u == kInvalidCore || !(region & core_bit(u)))
+                    continue;
+                if (dist[u] == dist[cur] - 1 &&
+                    (best == kInvalidCore || u < best)) {
+                    best = u;
+                }
+            }
+            VNPU_ASSERT(best != kInvalidCore);
+            ov.next_[key(cur, dst)] = static_cast<std::int16_t>(best);
+        }
+    }
+    return ov;
+}
+
+Network::Network(const SocConfig& cfg, const MeshTopology& topo,
+                 EventQueue& eq)
+    : cfg_(cfg), topo_(topo), eq_(eq),
+      link_busy_(static_cast<std::size_t>(topo.num_nodes()) * 4, 0),
+      link_vms_(static_cast<std::size_t>(topo.num_nodes()) * 4, 0)
+{
+}
+
+int
+Network::link_index(int from, int to) const
+{
+    return from * 4 + static_cast<int>(topo_.dir_to(from, to));
+}
+
+std::vector<int>
+Network::route_path(int src, int dst, const RouteOverride* route) const
+{
+    std::vector<int> path{src};
+    int cur = src;
+    int guard = 0;
+    while (cur != dst) {
+        int next = kInvalidCore;
+        if (route != nullptr)
+            next = route->next_hop(cur, dst);
+        if (next == kInvalidCore)
+            next = topo_.xy_next_hop(cur, dst);
+        path.push_back(next);
+        cur = next;
+        if (++guard > topo_.num_nodes() * 2)
+            panic("routing loop from ", src, " to ", dst);
+    }
+    return path;
+}
+
+SendResult
+Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
+              int tag, const RouteOverride* route, bool credit)
+{
+    VNPU_ASSERT(topo_.valid(src) && topo_.valid(dst));
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    if (route != nullptr)
+        ++stats_.confined_messages;
+
+    if (src == dst) {
+        // Local loopback through the core's own send/receive engine.
+        ++stats_.local_deliveries;
+        Tick done = start + cfg_.noc_handshake_cycles;
+        if (deliver_) {
+            eq_.schedule(done, [this, dst, src, bytes, tag, vm, credit] {
+                deliver_(dst, src, bytes, tag, vm, credit);
+            });
+        }
+        return {done, done, 0};
+    }
+
+    std::vector<int> path = route_path(src, dst, route);
+    const int hops = static_cast<int>(path.size()) - 1;
+
+    const std::uint64_t pkt_bytes = cfg_.packet_bytes;
+    const std::uint64_t npkts = (bytes + pkt_bytes - 1) / pkt_bytes;
+    stats_.packets += npkts;
+
+    Tick sender_free = start;
+    Tick delivered = start;
+    Tick inject_ready = start + cfg_.noc_handshake_cycles;
+
+    if (cfg_.noc_relay_store_forward) {
+        // Each relay node fully receives the message before re-sending
+        // it (Figure 5's chained send semantics): every hop costs the
+        // whole message serialization and occupies the link for it.
+        Cycles ser = static_cast<Cycles>(
+            std::ceil(bytes / cfg_.link_bytes_per_cycle));
+        Tick t = inject_ready;
+        for (int i = 0; i < hops; ++i) {
+            int li = link_index(path[i], path[i + 1]);
+            Tick depart = std::max(t, link_busy_[li]) +
+                          cfg_.router_delay + ser;
+            link_busy_[li] = depart;
+            if (vm >= 0 && vm < 64)
+                link_vms_[li] |= std::uint64_t{1} << vm;
+            t = depart;
+            if (i == 0)
+                sender_free = depart;
+        }
+        delivered = t;
+    } else {
+        // Idealized wormhole: routing packets pipeline across hops.
+        for (std::uint64_t p = 0; p < npkts; ++p) {
+            std::uint64_t payload =
+                std::min(pkt_bytes, bytes - p * pkt_bytes);
+            Cycles ser = static_cast<Cycles>(
+                std::ceil(payload / cfg_.link_bytes_per_cycle));
+            Tick t = inject_ready;
+            for (int i = 0; i < hops; ++i) {
+                int li = link_index(path[i], path[i + 1]);
+                Tick depart = std::max(t, link_busy_[li]) +
+                              cfg_.router_delay + ser;
+                link_busy_[li] = depart;
+                if (vm >= 0 && vm < 64)
+                    link_vms_[li] |= std::uint64_t{1} << vm;
+                t = depart;
+                if (i == 0)
+                    sender_free = depart;
+            }
+            delivered = std::max(delivered, t);
+        }
+    }
+
+    if (deliver_) {
+        eq_.schedule(delivered, [this, dst, src, bytes, tag, vm, credit] {
+            deliver_(dst, src, bytes, tag, vm, credit);
+        });
+    }
+    return {sender_free, delivered, hops};
+}
+
+int
+Network::interference_links() const
+{
+    int shared = 0;
+    for (std::uint64_t vms : link_vms_)
+        if (__builtin_popcountll(vms) >= 2)
+            ++shared;
+    return shared;
+}
+
+Tick
+Network::link_busy_until(int a, int b) const
+{
+    return link_busy_[link_index(a, b)];
+}
+
+void
+Network::reset()
+{
+    std::fill(link_busy_.begin(), link_busy_.end(), 0);
+    std::fill(link_vms_.begin(), link_vms_.end(), 0);
+    stats_ = NetworkStats{};
+}
+
+} // namespace vnpu::noc

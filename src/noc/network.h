@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Packet-level NoC model with per-link contention.
+ *
+ * Messages are segmented into fixed-size routing packets (2048 B in the
+ * paper's micro-tests). Each packet traverses its path store-and-forward
+ * with a busy-until reservation per directed link, so consecutive
+ * packets pipeline across hops and concurrent flows contend naturally.
+ *
+ * Routing is XY dimension-order by default; a `RouteOverride` (built by
+ * the hypervisor from the per-core routing-table directions) confines a
+ * virtual NPU's packets to its own region, eliminating NoC interference
+ * between virtual NPUs (paper §4.1.2).
+ */
+
+#ifndef VNPU_NOC_NETWORK_H
+#define VNPU_NOC_NETWORK_H
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/topology.h"
+#include "sim/config.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace vnpu::noc {
+
+/**
+ * Predefined next hops confining traffic to a core region. Built from
+ * the routing-table "direction" fields: for every (current node,
+ * destination) pair inside the region it names the next node on a
+ * shortest path that never leaves the region.
+ */
+class RouteOverride {
+  public:
+    /** Next hop from `cur` toward `dst`, or kInvalidCore if unknown. */
+    int next_hop(int cur, int dst) const;
+
+    /** Number of stored direction entries (for meta-table sizing). */
+    std::size_t size() const { return next_.size(); }
+
+    /**
+     * Build confined shortest-path routing inside `region` via BFS from
+     * every destination. Deterministic: prefers the smallest-id
+     * neighbor among equal-length choices.
+     * @pre `region` induces a connected subgraph of the mesh.
+     */
+    static RouteOverride build_confined(const MeshTopology& topo,
+                                        CoreMask region);
+
+  private:
+    static std::uint32_t key(int cur, int dst)
+    {
+        return static_cast<std::uint32_t>(cur) << 8 |
+               static_cast<std::uint32_t>(dst);
+    }
+
+    std::unordered_map<std::uint32_t, std::int16_t> next_;
+};
+
+/** Outcome of a message send. */
+struct SendResult {
+    Tick sender_free;  ///< Source core may continue past this tick.
+    Tick delivered;    ///< Last byte arrives at the destination.
+    int hops;          ///< Path length in links.
+};
+
+/** NoC statistics of interest to the harnesses. */
+struct NetworkStats {
+    Counter messages;
+    Counter packets;
+    Counter bytes;
+    Counter local_deliveries;   ///< src == dst messages
+    Counter confined_messages;  ///< routed with an override
+};
+
+/** The on-chip network shared by all NPU cores. */
+class Network {
+  public:
+    /**
+     * Callback invoked (via the event queue) when a message fully
+     * arrives: (dst, src, bytes, tag, vm, credit). `credit` marks a
+     * flow-control credit return rather than a data message.
+     */
+    using DeliverFn =
+        std::function<void(int dst, int src, std::uint64_t bytes, int tag,
+                           VmId vm, bool credit)>;
+
+    Network(const SocConfig& cfg, const MeshTopology& topo, EventQueue& eq);
+
+    void set_deliver_callback(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    /**
+     * Send `bytes` from physical core `src` to `dst` starting no earlier
+     * than `start`. Packets reserve links in order; the delivery
+     * callback fires at the computed arrival tick.
+     *
+     * @param route  confined routing for this VM, or nullptr for XY DOR.
+     * @param credit mark the message as a flow-control credit return.
+     */
+    SendResult send(Tick start, int src, int dst, std::uint64_t bytes,
+                    VmId vm, int tag, const RouteOverride* route = nullptr,
+                    bool credit = false);
+
+    /** Node sequence a packet follows (exposed for tests/benches). */
+    std::vector<int> route_path(int src, int dst,
+                                const RouteOverride* route = nullptr) const;
+
+    /** Per-directed-link list of VMs that sent traffic over it. */
+    const std::vector<std::uint64_t>& link_vm_masks() const
+    {
+        return link_vms_;
+    }
+
+    /**
+     * Number of directed links whose traffic came from more than one
+     * VM — the NoC-interference indicator from §4.1.2.
+     */
+    int interference_links() const;
+
+    /** Busy-until tick of the directed link from `a` to adjacent `b`. */
+    Tick link_busy_until(int a, int b) const;
+
+    const NetworkStats& stats() const { return stats_; }
+
+    /** Clear link reservations and statistics between experiments. */
+    void reset();
+
+    const MeshTopology& topology() const { return topo_; }
+
+  private:
+    int link_index(int from, int to) const;
+
+    const SocConfig& cfg_;
+    const MeshTopology& topo_;
+    EventQueue& eq_;
+    DeliverFn deliver_;
+
+    /** busy-until per directed link, indexed node*4 + direction. */
+    std::vector<Tick> link_busy_;
+    std::vector<std::uint64_t> link_vms_;
+    NetworkStats stats_;
+};
+
+} // namespace vnpu::noc
+
+#endif // VNPU_NOC_NETWORK_H

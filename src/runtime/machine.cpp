@@ -1,0 +1,63 @@
+#include "runtime/machine.h"
+
+#include "sim/log.h"
+
+namespace vnpu::runtime {
+
+Machine::Machine(const SocConfig& cfg)
+    : cfg_(cfg), topo_(cfg.mesh_x, cfg.mesh_y)
+{
+    cfg_.validate();
+    dram_ = std::make_unique<mem::DramModel>(cfg_);
+    net_ = std::make_unique<noc::Network>(cfg_, topo_, eq_);
+    ctrl_ = std::make_unique<core::NpuController>(cfg_, topo_);
+
+    for (int id = 0; id < num_cores(); ++id) {
+        spads_.push_back(std::make_unique<mem::Scratchpad>(
+            cfg_.spad_bytes_per_core, cfg_.meta_zone_bytes));
+        dmas_.push_back(std::make_unique<mem::DmaEngine>(
+            cfg_, *dram_, topo_.channel_of(id, cfg_.hbm_channels), id));
+        cores_.push_back(std::make_unique<core::NpuCore>(
+            cfg_, id, eq_, *net_, *dmas_.back()));
+    }
+
+    net_->set_deliver_callback([this](int dst, int src,
+                                      std::uint64_t bytes, int tag,
+                                      VmId vm, bool credit) {
+        cores_[dst]->deliver(src, bytes, tag, vm, credit);
+    });
+}
+
+void
+Machine::enable_trace()
+{
+    for (auto& dma : dmas_)
+        dma->set_trace(&trace_);
+}
+
+Tick
+Machine::run(Tick start, Tick limit)
+{
+    int active_cores = 0;
+    for (auto& core : cores_) {
+        if (core->num_contexts() > 0) {
+            ++active_cores;
+            core->start(start);
+        }
+    }
+    if (active_cores == 0)
+        return eq_.now();
+
+    Tick end = eq_.run(limit);
+
+    for (auto& core : cores_) {
+        if (core->num_contexts() > 0 && !core->all_done()) {
+            panic("machine: core ", core->id(),
+                  " has unfinished contexts after the event queue "
+                  "drained (deadlocked program?)");
+        }
+    }
+    return end;
+}
+
+} // namespace vnpu::runtime

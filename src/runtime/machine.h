@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Machine: one simulated inter-core connected NPU chip — cores, NoC,
+ * HBM, DMA engines, scratchpads and the NPU controller, wired to a
+ * shared event queue.
+ */
+
+#ifndef VNPU_RUNTIME_MACHINE_H
+#define VNPU_RUNTIME_MACHINE_H
+
+#include <memory>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/npu_core.h"
+#include "mem/dma.h"
+#include "mem/dram.h"
+#include "mem/scratchpad.h"
+#include "mem/trace.h"
+#include "noc/network.h"
+#include "noc/topology.h"
+#include "sim/config.h"
+#include "sim/event_queue.h"
+
+namespace vnpu::runtime {
+
+/** A fully assembled NPU chip simulator. */
+class Machine {
+  public:
+    explicit Machine(const SocConfig& cfg);
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    const SocConfig& config() const { return cfg_; }
+    EventQueue& event_queue() { return eq_; }
+    const noc::MeshTopology& topology() const { return topo_; }
+    noc::Network& network() { return *net_; }
+    mem::DramModel& dram() { return *dram_; }
+    core::NpuController& controller() { return *ctrl_; }
+    mem::MemTraceRecorder& trace() { return trace_; }
+
+    int num_cores() const { return topo_.num_nodes(); }
+    core::NpuCore& core(CoreId id) { return *cores_[id]; }
+    mem::Scratchpad& scratchpad(CoreId id) { return *spads_[id]; }
+    mem::DmaEngine& dma(CoreId id) { return *dmas_[id]; }
+
+    /** Enable DMA tracing on every core (Figure 6 experiments). */
+    void enable_trace();
+
+    /**
+     * Start all cores that have contexts at tick `start` and run the
+     * event queue to completion.
+     * @return the final simulated tick (the makespan).
+     * @throws SimPanic if the queue drains with unfinished contexts
+     *         (a deadlocked program — almost always a compiler bug).
+     */
+    Tick run(Tick start = 0, Tick limit = kTickMax);
+
+  private:
+    SocConfig cfg_;
+    EventQueue eq_;
+    noc::MeshTopology topo_;
+    mem::MemTraceRecorder trace_;
+    std::unique_ptr<mem::DramModel> dram_;
+    std::unique_ptr<noc::Network> net_;
+    std::unique_ptr<core::NpuController> ctrl_;
+    std::vector<std::unique_ptr<mem::Scratchpad>> spads_;
+    std::vector<std::unique_ptr<mem::DmaEngine>> dmas_;
+    std::vector<std::unique_ptr<core::NpuCore>> cores_;
+};
+
+} // namespace vnpu::runtime
+
+#endif // VNPU_RUNTIME_MACHINE_H

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A Poplar-flavored front end (paper §3.1, Listing 1).
+ *
+ * Inter-core connected NPUs are programmed by explicitly mapping
+ * tensors and vertices to tiles (cores). This header mirrors the IPU
+ * API surface used in the paper's listing — addVariable,
+ * setTileMapping, addComputeSet, addVertex, connect, setPerfEstimate,
+ * Sequence/Copy/Execute, Engine — lowered onto the vNPU simulator.
+ * Tile ids are *virtual* core ids when a VirtualNpu is attached, and
+ * physical ids on bare metal.
+ */
+
+#ifndef VNPU_RUNTIME_POPLAR_H
+#define VNPU_RUNTIME_POPLAR_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "runtime/machine.h"
+#include "virt/virtual_npu.h"
+
+namespace vnpu::runtime::poplar {
+
+/** Element types. */
+enum class Type { FLOAT, HALF };
+
+/** Bytes per element of a type. */
+std::uint64_t type_bytes(Type t);
+
+/** An opaque tensor handle. */
+struct Tensor {
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/** An opaque compute-set handle. */
+struct ComputeSet {
+    int id = -1;
+};
+
+/** An opaque vertex handle. */
+struct VertexRef {
+    int id = -1;
+};
+
+/** Program step: copy a tensor (host constant or between tiles). */
+struct Copy {
+    Copy(Tensor src, Tensor dst) : src(src), dst(dst) {}
+    Tensor src, dst;
+};
+
+/** Program step: run every vertex of a compute set in parallel. */
+struct Execute {
+    explicit Execute(ComputeSet cs) : cs(cs) {}
+    ComputeSet cs;
+};
+
+/** An ordered program. */
+class Sequence {
+  public:
+    void add(Copy c) { steps_.emplace_back(c); }
+    void add(Execute e) { steps_.emplace_back(e); }
+
+    using Step = std::variant<Copy, Execute>;
+    const std::vector<Step>& steps() const { return steps_; }
+
+  private:
+    std::vector<Step> steps_;
+};
+
+/** The computation graph under construction. */
+class Graph {
+  public:
+    /**
+     * @param machine the chip to run on
+     * @param vnpu    attach to a virtual NPU (tile ids = virtual core
+     *                ids) or nullptr for bare metal
+     */
+    explicit Graph(Machine& machine,
+                   const virt::VirtualNpu* vnpu = nullptr);
+
+    /** Declare a device tensor. */
+    Tensor addVariable(Type type, const std::vector<std::size_t>& shape,
+                       const std::string& name);
+
+    /** Declare a host-resident constant (copied in via DMA). */
+    Tensor addConstant(Type type, const std::vector<std::size_t>& shape,
+                       const std::string& name);
+
+    /** Place a tensor on a tile. */
+    void setTileMapping(Tensor t, int tile);
+
+    ComputeSet addComputeSet(const std::string& name);
+
+    /** Add a vertex (codelet instance) to a compute set. */
+    VertexRef addVertex(ComputeSet cs, const std::string& codelet);
+
+    /** Connect a tensor to a vertex field ("in", "out", ...). */
+    void connect(VertexRef v, const std::string& field, Tensor t);
+
+    /** Place a vertex on a tile. */
+    void setTileMapping(VertexRef v, int tile);
+
+    /** Override the vertex cost in cycles (as in Listing 1). */
+    void setPerfEstimate(VertexRef v, Cycles cycles);
+
+    Machine& machine() { return machine_; }
+    const virt::VirtualNpu* vnpu() const { return vnpu_; }
+
+  private:
+    friend class Engine;
+
+    struct TensorInfo {
+        std::string name;
+        std::uint64_t bytes = 0;
+        std::uint64_t elems = 0;
+        int tile = -1;
+        bool host = false;
+    };
+    struct VertexInfo {
+        std::string codelet;
+        int cs = -1;
+        int tile = -1;
+        Cycles perf_estimate = 0;
+        std::vector<int> in_tensors;
+        std::vector<int> out_tensors;
+    };
+
+    Machine& machine_;
+    const virt::VirtualNpu* vnpu_;
+    std::vector<TensorInfo> tensors_;
+    std::vector<VertexInfo> vertices_;
+    int num_compute_sets_ = 0;
+};
+
+/** Outcome of an Engine::run(). */
+struct RunStats {
+    Tick cycles = 0;              ///< Makespan.
+    std::uint64_t noc_bytes = 0;  ///< Inter-tile traffic.
+    std::uint64_t dma_bytes = 0;  ///< Host/global-memory traffic.
+    std::uint64_t flops = 0;
+};
+
+/** Compiles a Graph + Sequence onto the machine and runs it. */
+class Engine {
+  public:
+    Engine(Graph& graph, Sequence prog);
+
+    /** Execute the program `iterations` times and report statistics. */
+    RunStats run(int iterations = 1);
+
+  private:
+    Graph& graph_;
+    Sequence prog_;
+    // Owned virtualization hooks, one per used tile.
+    std::vector<std::unique_ptr<virt::NocVRouter>> vrouters_;
+    std::vector<std::unique_ptr<virt::VChunk>> vchunks_;
+};
+
+} // namespace vnpu::runtime::poplar
+
+#endif // VNPU_RUNTIME_POPLAR_H

@@ -1,0 +1,73 @@
+#include "sim/config.h"
+
+#include "sim/log.h"
+
+namespace vnpu {
+
+SocConfig
+SocConfig::Fpga()
+{
+    SocConfig c;
+    c.mesh_x = 4;
+    c.mesh_y = 2;                       // 8 accelerator tiles
+    c.sa_dim = 16;
+    c.vector_lanes = 16;
+    c.spad_bytes_per_core = 512 * 1024; // 512 KB/tile, 4 MB total
+    c.hbm_bytes = 4ull << 30;
+    c.hbm_channels = 2;
+    c.hbm_bytes_per_cycle = 16.0;       // 16 GB/s at 1 GHz
+    c.link_bytes_per_cycle = 16.0;
+    c.freq_ghz = 1.0;
+    return c;
+}
+
+SocConfig
+SocConfig::Sim()
+{
+    SocConfig c;
+    c.mesh_x = 6;
+    c.mesh_y = 6;                        // 36 accelerator tiles
+    c.sa_dim = 128;
+    c.vector_lanes = 128;
+    c.spad_bytes_per_core = 30ull << 20; // 30 MB/tile, 1080 MB total
+    c.hbm_bytes = 64ull << 30;
+    c.hbm_channels = 6;                  // one interface per mesh row
+    c.hbm_bytes_per_cycle = 720.0;       // 360 GB/s at 500 MHz
+    c.link_bytes_per_cycle = 64.0;
+    c.packet_bytes = 2048;
+    c.freq_ghz = 0.5;
+    return c;
+}
+
+SocConfig
+SocConfig::Sim48()
+{
+    SocConfig c = Sim();
+    c.mesh_x = 8;
+    c.mesh_y = 6;                        // 48 tiles, 1440 MB total SRAM
+    c.hbm_channels = 6;
+    return c;
+}
+
+void
+SocConfig::validate() const
+{
+    if (mesh_x <= 0 || mesh_y <= 0)
+        fatal("mesh dimensions must be positive: ", mesh_x, "x", mesh_y);
+    if (num_cores() > kMaxCores)
+        fatal("at most ", kMaxCores, " cores supported, got ", num_cores());
+    if (sa_dim <= 0 || vector_lanes <= 0)
+        fatal("compute unit dimensions must be positive");
+    if (hbm_channels <= 0)
+        fatal("need at least one HBM channel");
+    if (link_bytes_per_cycle <= 0 || hbm_bytes_per_cycle <= 0)
+        fatal("bandwidths must be positive");
+    if (packet_bytes == 0 || dma_burst_bytes == 0 || page_bytes == 0)
+        fatal("transfer granularities must be positive");
+    if (meta_zone_bytes >= spad_bytes_per_core)
+        fatal("meta-zone must leave room for the weight-zone");
+    if (freq_ghz <= 0)
+        fatal("frequency must be positive");
+}
+
+} // namespace vnpu

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SoC configuration (paper Table 2) plus every timing constant of the
+ * cycle-approximate model, centralized so calibration is auditable.
+ */
+
+#ifndef VNPU_SIM_CONFIG_H
+#define VNPU_SIM_CONFIG_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace vnpu {
+
+/**
+ * Full configuration of one simulated inter-core connected NPU chip.
+ *
+ * The two factory presets mirror Table 2 of the paper: `Fpga()` is the
+ * Chipyard/FireSim prototype (8 Gemmini-like tiles) used for the
+ * micro-tests, `Sim()` is the DCRA-scale chip (36 tiles, 1080 MB SRAM)
+ * used for the end-to-end ML evaluation. `Sim48()` is the 48-core
+ * variant used in the right half of Figure 16.
+ */
+struct SocConfig {
+    // ---- Topology ---------------------------------------------------
+    int mesh_x = 4;              ///< Mesh width (cores per row).
+    int mesh_y = 2;              ///< Mesh height.
+
+    // ---- Per-core compute -------------------------------------------
+    int sa_dim = 16;             ///< Systolic array dimension (DxD MACs).
+    int vector_lanes = 16;       ///< Vector unit lanes (elements/cycle).
+
+    // ---- Memory hierarchy -------------------------------------------
+    std::uint64_t spad_bytes_per_core = 512 * 1024;  ///< Scratchpad size.
+    std::uint64_t meta_zone_bytes = 16 * 1024;       ///< Meta-table region.
+    std::uint64_t hbm_bytes = 8ull << 30;            ///< Global memory.
+    int hbm_channels = 4;                 ///< Independent HBM channels.
+    /// Aggregate HBM bandwidth in bytes per NPU cycle (all channels).
+    double hbm_bytes_per_cycle = 16.0;
+    std::uint64_t dma_burst_bytes = 64;   ///< DMA burst granularity.
+    std::uint64_t page_bytes = 4096;      ///< Page size for IOTLB baseline.
+
+    // ---- NoC ----------------------------------------------------------
+    double link_bytes_per_cycle = 16.0;   ///< Per-link bandwidth.
+    Cycles router_delay = 2;              ///< Per-hop router traversal.
+    std::uint64_t packet_bytes = 2048;    ///< Routing packet payload.
+    Cycles noc_handshake_cycles = 20;     ///< Send/recv handshake setup.
+    /// Credit window per dataflow edge (2 = double-buffered receive
+    /// side). Bounds how far a producer may run ahead of its consumer,
+    /// modelling the finite activation buffers in scratchpad SRAM.
+    int edge_credits = 2;
+    /// Relay store-and-forward: multi-hop transfers are re-sent by each
+    /// relay node's send/receive engine (paper Figure 5: "send addr,
+    /// size, step, direction" chains through relay nodes), so every
+    /// extra hop costs a full message serialization. Disable for an
+    /// idealized packet-pipelined wormhole NoC.
+    bool noc_relay_store_forward = true;
+    std::uint64_t credit_bytes = 32;      ///< Credit return message size.
+
+    // ---- Virtualization timing ----------------------------------------
+    /// Routing-table lookup from controller SRAM (cold).
+    Cycles rt_lookup_cycles = 24;
+    /// Cached (same destination as previous instruction) translation.
+    Cycles rt_cached_cycles = 1;
+    /// Per-core availability query during routing-table configuration.
+    Cycles rt_config_query_cycles = 12;
+    /// Writing one routing-table entry during configuration.
+    Cycles rt_config_write_cycles = 18;
+    /// Fetching one RTT entry from the meta-zone on a range-TLB miss.
+    Cycles rtt_fetch_cycles = 8;
+    /// Page-table walk latency for the IOTLB baseline.
+    Cycles page_walk_cycles = 140;
+    /// Walk latency hidden per IOTLB entry: larger TLBs allow deeper
+    /// translation pipelining, overlapping walks with in-flight bursts.
+    double walk_overlap_per_entry = 1.0 / 64.0;
+    /// Upper bound on the hidden fraction of a walk.
+    double walk_overlap_max = 0.75;
+    /// TDM context switch (pipeline drain + issue restart; contexts stay
+    /// scratchpad-resident, so no SPAD swap traffic).
+    Cycles context_switch_cycles = 128;
+
+    // ---- Instruction dispatch -----------------------------------------
+    Cycles ibus_dispatch_cycles = 12;     ///< Fixed instruction-bus latency.
+    Cycles inoc_hop_cycles = 3;           ///< Instruction-NoC per-hop cost.
+    Cycles inoc_inject_cycles = 6;        ///< Instruction-NoC injection.
+
+    // ---- UVM (monolithic-NPU baseline) --------------------------------
+    std::uint64_t l2_bytes = 2 * 1024 * 1024;  ///< Shared L2 (UVM only).
+    /// Synchronization flag round-trip through global memory.
+    Cycles uvm_sync_cycles = 64;
+
+    // ---- Clock ---------------------------------------------------------
+    double freq_ghz = 1.0;       ///< Cycles -> seconds conversion.
+
+    // ---- Derived helpers -------------------------------------------
+    int num_cores() const { return mesh_x * mesh_y; }
+    std::uint64_t total_spad_bytes() const
+    {
+        return spad_bytes_per_core * static_cast<std::uint64_t>(num_cores());
+    }
+    /// Peak per-core throughput in MAC operations per cycle.
+    double peak_macs_per_cycle() const
+    {
+        return static_cast<double>(sa_dim) * sa_dim;
+    }
+    /// Seconds represented by `t` cycles.
+    double seconds(Tick t) const
+    {
+        return static_cast<double>(t) / (freq_ghz * 1e9);
+    }
+
+    /** Table 2 "FPGA" column: 8 tiles, 16x16 SA, 4 MB SRAM, 16 GB/s. */
+    static SocConfig Fpga();
+    /** Table 2 "SIM" column: 36 tiles, 128x128 SA, 1080 MB, 360 GB/s. */
+    static SocConfig Sim();
+    /** 48-core variant of the SIM config (Figure 16, right half). */
+    static SocConfig Sim48();
+
+    /** Validate invariants; calls fatal() on nonsense configurations. */
+    void validate() const;
+};
+
+} // namespace vnpu
+
+#endif // VNPU_SIM_CONFIG_H

@@ -1,0 +1,44 @@
+#include "sim/event_queue.h"
+
+namespace vnpu {
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty()) {
+        const Entry& top = heap_.top();
+        if (top.when > limit) {
+            now_ = limit;
+            return now_;
+        }
+        now_ = top.when;
+        // Move the callback out before popping so that the callback may
+        // itself schedule new events without invalidating `top`.
+        Callback cb = std::move(const_cast<Entry&>(top).cb);
+        heap_.pop();
+        cb();
+    }
+    return now_;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    const Entry& top = heap_.top();
+    now_ = top.when;
+    Callback cb = std::move(const_cast<Entry&>(top).cb);
+    heap_.pop();
+    cb();
+    return true;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace vnpu

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * All components of the NPU model (cores, NoC, DMA, controller) share one
+ * EventQueue. Events scheduled at the same tick execute in FIFO order of
+ * scheduling, which makes every simulation run bit-reproducible.
+ */
+
+#ifndef VNPU_SIM_EVENT_QUEUE_H
+#define VNPU_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace vnpu {
+
+/** A deterministic min-heap event queue keyed by (tick, insertion seq). */
+class EventQueue {
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Schedule `cb` to run at absolute tick `when`.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < now_)
+            panic("scheduling event in the past: ", when, " < ", now_);
+        heap_.push(Entry{when, next_seq_++, std::move(cb)});
+    }
+
+    /** Schedule `cb` to run `delay` cycles from now. */
+    void schedule_in(Cycles delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Run events until the queue drains or `limit` is exceeded.
+     * @return the final simulated time.
+     */
+    Tick run(Tick limit = kTickMax);
+
+    /** Execute exactly one event (if any); returns false when empty. */
+    bool step();
+
+    /** Drop all pending events (used between independent experiments). */
+    void clear();
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace vnpu
+
+#endif // VNPU_SIM_EVENT_QUEUE_H

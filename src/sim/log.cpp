@@ -1,0 +1,45 @@
+#include "sim/log.h"
+
+#include <iostream>
+
+namespace vnpu {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char*
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kWarn:  return "warn";
+      case LogLevel::kInfo:  return "info";
+      case LogLevel::kDebug: return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+log_line(LogLevel level, const std::string& msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_level))
+        return;
+    std::cerr << "[vnpu:" << level_tag(level) << "] " << msg << '\n';
+}
+
+} // namespace vnpu

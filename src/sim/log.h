@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Logging and error-reporting utilities.
+ *
+ * Follows the gem5 convention: `panic` is for internal invariant
+ * violations (simulator bugs), `fatal` is for user/configuration errors.
+ * Both throw exceptions (this is a library, not a process), so callers
+ * and tests can observe them.
+ */
+
+#ifndef VNPU_SIM_LOG_H
+#define VNPU_SIM_LOG_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vnpu {
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class SimPanic : public std::logic_error {
+  public:
+    explicit SimPanic(const std::string& what) : std::logic_error(what) {}
+};
+
+/** Thrown by fatal(): the user supplied an invalid configuration. */
+class SimFatal : public std::runtime_error {
+  public:
+    explicit SimFatal(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Log verbosity levels, most severe first. */
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/** Global log level; messages above this level are suppressed. */
+LogLevel log_level();
+
+/** Set the global log level (e.g. LogLevel::kDebug in tests). */
+void set_log_level(LogLevel level);
+
+/** Emit one log line to stderr if `level` passes the filter. */
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug; never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    throw SimPanic(detail::concat("panic: ", std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user/configuration error; never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    throw SimFatal(detail::concat("fatal: ", std::forward<Args>(args)...));
+}
+
+/** Warn about suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Assert an internal invariant; compiles to a check in all build types. */
+#define VNPU_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::vnpu::panic("assertion failed: ", #cond, " @ ", __FILE__,     \
+                          ":", __LINE__);                                   \
+        }                                                                   \
+    } while (0)
+
+} // namespace vnpu
+
+#endif // VNPU_SIM_LOG_H

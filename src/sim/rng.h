@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64).
+ *
+ * All stochastic choices in the simulator (e.g. sampled subgraph seeds)
+ * come from explicitly seeded Rng instances so that every run is
+ * reproducible.
+ */
+
+#ifndef VNPU_SIM_RNG_H
+#define VNPU_SIM_RNG_H
+
+#include <cstdint>
+
+namespace vnpu {
+
+/** SplitMix64 generator: tiny, fast, and good enough for simulation. */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    next_below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    next_double()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace vnpu
+
+#endif // VNPU_SIM_RNG_H

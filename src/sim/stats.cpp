@@ -1,0 +1,59 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+
+namespace vnpu {
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+StatSet::set(const std::string& name, double value)
+{
+    stats_[name] = value;
+}
+
+void
+StatSet::add(const std::string& name, double value)
+{
+    stats_[name] += value;
+}
+
+double
+StatSet::get(const std::string& name, double fallback) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? fallback : it->second;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return stats_.count(name) != 0;
+}
+
+void
+StatSet::dump(std::ostream& os, const std::string& prefix) const
+{
+    for (const auto& [name, value] : stats_)
+        os << prefix << name << " = " << value << '\n';
+}
+
+} // namespace vnpu

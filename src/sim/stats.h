@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lightweight statistics: named scalar counters and histograms that
+ * components register into a StatSet and that harnesses can dump.
+ */
+
+#ifndef VNPU_SIM_STATS_H
+#define VNPU_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vnpu {
+
+/** A monotonically increasing scalar statistic. */
+class Counter {
+  public:
+    Counter() = default;
+
+    Counter& operator+=(std::uint64_t v) { value_ += v; return *this; }
+    Counter& operator++() { ++value_; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max of a sampled quantity (e.g. latency). */
+class Distribution {
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of scalar statistics. Components expose a
+ * `collect_stats(StatSet&)` method; harnesses print the result.
+ */
+class StatSet {
+  public:
+    /** Set (or overwrite) a named scalar. */
+    void set(const std::string& name, double value);
+
+    /** Add to a named scalar (creating it at 0 if absent). */
+    void add(const std::string& name, double value);
+
+    /** Look up a scalar; returns `fallback` when absent. */
+    double get(const std::string& name, double fallback = 0.0) const;
+
+    /** True when `name` has been set. */
+    bool has(const std::string& name) const;
+
+    /** All stats in name order. */
+    const std::map<std::string, double>& all() const { return stats_; }
+
+    /** Pretty-print as "name = value" lines. */
+    void dump(std::ostream& os, const std::string& prefix = "") const;
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+} // namespace vnpu
+
+#endif // VNPU_SIM_STATS_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental value types shared by every vNPU subsystem.
+ */
+
+#ifndef VNPU_SIM_TYPES_H
+#define VNPU_SIM_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace vnpu {
+
+/** Simulated time, measured in NPU clock cycles. */
+using Tick = std::uint64_t;
+
+/** A duration in cycles (same unit as Tick, kept distinct for clarity). */
+using Cycles = std::uint64_t;
+
+/** Byte address into the NPU global (HBM/DRAM) address space. */
+using Addr = std::uint64_t;
+
+/** Physical or virtual NPU core identifier. */
+using CoreId = std::int32_t;
+
+/** Virtual machine (tenant) identifier. */
+using VmId = std::int32_t;
+
+/** Sentinel for "no core". */
+inline constexpr CoreId kInvalidCore = -1;
+
+/** Sentinel for "no VM" / bare-metal (non-virtualized) execution. */
+inline constexpr VmId kNoVm = -1;
+
+/** Sentinel tick meaning "never" / unset. */
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Maximum number of physical cores supported (bitmask sets). */
+inline constexpr int kMaxCores = 64;
+
+/** Bitmask over physical core ids (bit i <=> core i). */
+using CoreMask = std::uint64_t;
+
+/** Convenience: bit for one core. */
+constexpr CoreMask core_bit(CoreId id) { return CoreMask{1} << id; }
+
+/** Number of cores in a mask. */
+constexpr int mask_count(CoreMask m) { return __builtin_popcountll(m); }
+
+/** Kilo/Mega/Giga byte literals. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+} // namespace vnpu
+
+#endif // VNPU_SIM_TYPES_H

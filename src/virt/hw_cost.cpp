@@ -1,0 +1,127 @@
+#include "virt/hw_cost.h"
+
+namespace vnpu::virt {
+
+namespace {
+
+// Estimation constants (6-input LUT fabric).
+constexpr double kLutsPerComparatorBit = 0.5; // 2 bits per LUT
+constexpr double kBitsPerLutram = 64.0;
+constexpr double kControlOverhead = 1.15;     // FSM/decode slack
+
+HwCost
+table_cost(std::uint64_t entries, std::uint64_t bits_per_entry,
+           double comparators_per_lookup)
+{
+    HwCost c;
+    c.bits = entries * bits_per_entry;
+    c.lutrams = static_cast<double>(c.bits) / kBitsPerLutram;
+    // Match logic: comparators over the tag bits of a lookup.
+    c.luts = comparators_per_lookup * bits_per_entry *
+             kLutsPerComparatorBit * kControlOverhead;
+    // Index/current registers only; the table body lives in LUTRAM.
+    c.ffs = 64;
+    return c;
+}
+
+} // namespace
+
+HwCost&
+HwCost::operator+=(const HwCost& o)
+{
+    luts += o.luts;
+    lutrams += o.lutrams;
+    ffs += o.ffs;
+    bits += o.bits;
+    return *this;
+}
+
+HwCost
+baseline_controller_cost()
+{
+    // A small RISC control engine + DMA descriptors + dispatch queues,
+    // calibrated to a few thousand LUTs as in Chipyard's NPU controller.
+    HwCost c;
+    c.luts = 6200;
+    c.lutrams = 900;
+    c.ffs = 5400;
+    c.bits = 48 * 1024;
+    return c;
+}
+
+HwCost
+baseline_core_cost(int sa_dim)
+{
+    // Systolic array dominates: one MAC ~ 80 LUTs / 64 FFs (16-bit),
+    // plus scratchpad control and the send/receive engine.
+    HwCost c;
+    double macs = static_cast<double>(sa_dim) * sa_dim;
+    c.luts = macs * 80 + 4000;
+    c.ffs = macs * 64 + 3500;
+    c.lutrams = 1200;
+    c.bits = 96 * 1024;
+    return c;
+}
+
+HwCost
+routing_table_cost(int entries)
+{
+    // 17-bit entries (8+8+valid); single-ported, one comparator.
+    return table_cost(static_cast<std::uint64_t>(entries), 17, 1);
+}
+
+HwCost
+inst_vrouter_cost(int rt_entries)
+{
+    HwCost c = routing_table_cost(rt_entries);
+    // Cached last translation (vm, vcore, pcore) + redirect mux.
+    c.ffs += 32;
+    c.luts += 140;
+    return c;
+}
+
+HwCost
+noc_vrouter_cost()
+{
+    // Destination rewrite on the send/receive engine + direction
+    // override port into the local meta-zone.
+    HwCost c;
+    c.luts = 220;
+    c.ffs = 90;
+    c.bits = 0;
+    return c;
+}
+
+HwCost
+vchunk_cost(int range_tlb_entries)
+{
+    // 144-bit range-TLB entries, fully associative (one comparator per
+    // entry on the 48-bit VA), plus the walker FSM and access counter.
+    HwCost c = table_cost(static_cast<std::uint64_t>(range_tlb_entries),
+                          144, range_tlb_entries);
+    c.luts += 260; // walker FSM + RTT_CUR/last_v update
+    c.ffs += 96;   // access counter + rate registers
+    return c;
+}
+
+HwCost
+uvm_mmu_cost(int iotlb_entries)
+{
+    // Page IOTLB (VPN 36 + PPN 36 + perm 4 = 76 bits), fully
+    // associative, plus a hardware page-table walker.
+    HwCost c = table_cost(static_cast<std::uint64_t>(iotlb_entries), 76,
+                          iotlb_entries);
+    c.luts += 420; // multi-level walker FSM
+    c.ffs += 128;
+    return c;
+}
+
+HwOverhead
+overhead(const HwCost& base, const HwCost& extra)
+{
+    auto pct = [](double b, double e) { return b > 0 ? 100.0 * e / b : 0.0; };
+    return {pct(base.luts, extra.luts), pct(base.lutrams, extra.lutrams),
+            pct(base.ffs, extra.ffs)};
+}
+
+} // namespace vnpu::virt

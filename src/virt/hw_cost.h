@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytic hardware-cost model (substitute for the paper's FPGA
+ * synthesis, Figure 19).
+ *
+ * The paper synthesizes vNPU and Kim's UVM-based design on an FPGA and
+ * reports the added LUT/FF/LUTRAM percentages. Synthesis is unavailable
+ * here, so we estimate from first principles:
+ *  - flip-flops ~ storage bits held in registers,
+ *  - LUTs ~ comparators + muxes + adders (6-input LUTs, ~1 LUT per
+ *    2 compared bits, plus control overhead),
+ *  - LUTRAM ~ table bits placed in distributed RAM (64 bits/LUTRAM).
+ *
+ * The figure's message — both designs add ~2% resources, and a
+ * 128-entry routing table is almost free — survives this substitution
+ * because it is a *relative storage/logic* argument, not a timing one.
+ */
+
+#ifndef VNPU_VIRT_HW_COST_H
+#define VNPU_VIRT_HW_COST_H
+
+#include <cstdint>
+#include <string>
+
+namespace vnpu::virt {
+
+/** Estimated FPGA resources for one hardware block. */
+struct HwCost {
+    double luts = 0;     ///< logic LUTs
+    double lutrams = 0;  ///< distributed-RAM LUTs
+    double ffs = 0;      ///< flip-flops
+    std::uint64_t bits = 0; ///< raw storage bits
+
+    HwCost& operator+=(const HwCost& o);
+};
+
+/** Baseline (non-virtualized) NPU controller and core, for ratios. */
+HwCost baseline_controller_cost();
+HwCost baseline_core_cost(int sa_dim);
+
+/** Routing table of `entries` entries (controller SRAM resident). */
+HwCost routing_table_cost(int entries);
+
+/** Controller-side instruction vRouter (lookup + cached translation). */
+HwCost inst_vrouter_cost(int rt_entries);
+
+/** Core-side NoC vRouter (dst rewrite + direction override port). */
+HwCost noc_vrouter_cost();
+
+/** vChunk: range TLB (144-bit entries) + walker + access counter. */
+HwCost vchunk_cost(int range_tlb_entries);
+
+/** Kim's UVM baseline: page IOTLB + page-walker + MMU registers. */
+HwCost uvm_mmu_cost(int iotlb_entries);
+
+/** Percentage overhead of `extra` relative to `base`, per resource. */
+struct HwOverhead {
+    double luts_pct;
+    double lutrams_pct;
+    double ffs_pct;
+};
+HwOverhead overhead(const HwCost& base, const HwCost& extra);
+
+} // namespace vnpu::virt
+
+#endif // VNPU_VIRT_HW_COST_H

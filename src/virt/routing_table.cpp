@@ -1,0 +1,82 @@
+#include "virt/routing_table.h"
+
+#include "sim/log.h"
+
+namespace vnpu::virt {
+
+RoutingTable
+RoutingTable::standard(VmId vm, std::vector<CoreId> virt_to_phys)
+{
+    if (virt_to_phys.empty())
+        fatal("routing table needs at least one core");
+    RoutingTable rt;
+    rt.vm_ = vm;
+    rt.type_ = RtType::kStandard;
+    rt.v2p_ = std::move(virt_to_phys);
+    return rt;
+}
+
+RoutingTable
+RoutingTable::mesh2d(VmId vm, int vw, int vh, CoreId anchor,
+                     int phys_mesh_w)
+{
+    if (vw <= 0 || vh <= 0 || anchor < 0 || phys_mesh_w < vw)
+        fatal("invalid mesh2d routing table: ", vw, "x", vh, " anchor ",
+              anchor, " stride ", phys_mesh_w);
+    RoutingTable rt;
+    rt.vm_ = vm;
+    rt.type_ = RtType::kMesh2D;
+    rt.vw_ = vw;
+    rt.vh_ = vh;
+    rt.anchor_ = anchor;
+    rt.stride_ = phys_mesh_w;
+    return rt;
+}
+
+int
+RoutingTable::num_cores() const
+{
+    return type_ == RtType::kStandard ? static_cast<int>(v2p_.size())
+                                      : vw_ * vh_;
+}
+
+CoreId
+RoutingTable::lookup(CoreId vcore) const
+{
+    if (vcore < 0 || vcore >= num_cores())
+        return kInvalidCore;
+    if (type_ == RtType::kStandard)
+        return v2p_[vcore];
+    int r = vcore / vw_;
+    int c = vcore % vw_;
+    return anchor_ + r * stride_ + c;
+}
+
+std::vector<CoreId>
+RoutingTable::phys_cores() const
+{
+    std::vector<CoreId> out(num_cores());
+    for (int v = 0; v < num_cores(); ++v)
+        out[v] = lookup(v);
+    return out;
+}
+
+std::uint64_t
+RoutingTable::storage_bits() const
+{
+    // Per Figure 4: an entry holds v_CoreID and p_CoreID (8 bits each
+    // for <= 256 cores) plus a valid bit. The compact form stores one
+    // entry plus a [w, h] shape (8 bits each).
+    constexpr std::uint64_t entry_bits = 8 + 8 + 1;
+    if (type_ == RtType::kStandard)
+        return entry_bits * v2p_.size();
+    return entry_bits + 16;
+}
+
+int
+RoutingTable::num_entries() const
+{
+    return type_ == RtType::kStandard ? static_cast<int>(v2p_.size()) : 1;
+}
+
+} // namespace vnpu::virt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The vRouter Routing Table (RT): virtual -> physical NPU core ids
+ * (paper §4.1.1, Figure 4).
+ *
+ * Two organizations exist, exactly as in the paper:
+ *  - Standard: one entry per virtual core (arbitrary topologies).
+ *  - Mesh2D: a compact single-descriptor form for regular 2D-mesh
+ *    virtual topologies — it stores only the first virtual/physical id
+ *    and the shape, saving on-chip SRAM.
+ */
+
+#ifndef VNPU_VIRT_ROUTING_TABLE_H
+#define VNPU_VIRT_ROUTING_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vnpu::virt {
+
+/** Routing-table organization. */
+enum class RtType : std::uint8_t {
+    kStandard, ///< Explicit per-core entries.
+    kMesh2D,   ///< Compact (anchor, shape) descriptor.
+};
+
+/** One VM's virtual-to-physical core mapping. */
+class RoutingTable {
+  public:
+    /** Standard table from explicit (virtual, physical) pairs. */
+    static RoutingTable standard(VmId vm,
+                                 std::vector<CoreId> virt_to_phys);
+
+    /**
+     * Compact 2D-mesh table: virtual core (r, c) of a vw x vh grid maps
+     * to physical core `anchor + r*phys_mesh_w + c`.
+     */
+    static RoutingTable mesh2d(VmId vm, int vw, int vh, CoreId anchor,
+                               int phys_mesh_w);
+
+    VmId vm() const { return vm_; }
+    RtType type() const { return type_; }
+
+    /** Number of virtual cores covered. */
+    int num_cores() const;
+
+    /** Physical core for `vcore`, or kInvalidCore when out of range. */
+    CoreId lookup(CoreId vcore) const;
+
+    /** All physical cores in virtual-id order. */
+    std::vector<CoreId> phys_cores() const;
+
+    /** SRAM bits this table occupies (hardware-cost model input). */
+    std::uint64_t storage_bits() const;
+
+    /** Hardware table entries (1 for the compact mesh form). */
+    int num_entries() const;
+
+  private:
+    RoutingTable() = default;
+
+    VmId vm_ = kNoVm;
+    RtType type_ = RtType::kStandard;
+    // Standard form.
+    std::vector<CoreId> v2p_;
+    // Mesh2D form.
+    int vw_ = 0, vh_ = 0;
+    CoreId anchor_ = kInvalidCore;
+    int stride_ = 0;
+};
+
+} // namespace vnpu::virt
+
+#endif // VNPU_VIRT_ROUTING_TABLE_H

@@ -1,0 +1,15 @@
+#include "virt/vchunk.h"
+
+#include "sim/log.h"
+
+namespace vnpu::virt {
+
+VChunk::VChunk(const SocConfig& cfg, const mem::RangeTable& table,
+               int tlb_entries)
+    : table_(table), tlb_(cfg, table_, tlb_entries)
+{
+    if (!table_.finalized())
+        fatal("vChunk requires a finalized range table");
+}
+
+} // namespace vnpu::virt

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * vChunk: per-core NPU memory virtualization (paper §4.2).
+ *
+ * Bundles a core-local copy of the VM's range translation table (each
+ * core's meta-zone holds its own RTT image with private RTT_CUR /
+ * last_v state), the hardware range TLB, the access counter and the
+ * per-vNPU memory bandwidth cap.
+ */
+
+#ifndef VNPU_VIRT_VCHUNK_H
+#define VNPU_VIRT_VCHUNK_H
+
+#include <cstdint>
+
+#include "mem/range_table.h"
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace vnpu::virt {
+
+/** One core's vChunk instance for one VM. */
+class VChunk {
+  public:
+    /**
+     * @param cfg         timing constants
+     * @param table       VM-level RTT image (copied into this core's
+     *                    meta-zone)
+     * @param tlb_entries hardware range-TLB entries (4 in the paper)
+     */
+    VChunk(const SocConfig& cfg, const mem::RangeTable& table,
+           int tlb_entries);
+
+    /** The DMA translation hook for this core/VM. */
+    mem::Translator* translator() { return &tlb_; }
+
+    /**
+     * Restrict this VM's sustained memory bandwidth (bytes per cycle);
+     * <= 0 removes the cap. Backed by the access counter.
+     */
+    void set_bandwidth_cap(double bytes_per_cycle)
+    {
+        bw_cap_ = bytes_per_cycle;
+    }
+    double bandwidth_cap() const { return bw_cap_; }
+
+    /** Meta-zone bytes consumed by the RTT image. */
+    std::uint64_t meta_footprint() const { return table_.footprint_bytes(); }
+
+    const mem::RangeTlbTranslator& tlb() const { return tlb_; }
+    const mem::RangeTable& table() const { return table_; }
+
+  private:
+    mem::RangeTable table_; ///< Core-local copy (private last_v state).
+    mem::RangeTlbTranslator tlb_;
+    double bw_cap_ = 0.0;
+};
+
+} // namespace vnpu::virt
+
+#endif // VNPU_VIRT_VCHUNK_H

@@ -1,0 +1,64 @@
+#include "virt/vrouter.h"
+
+#include "sim/log.h"
+
+namespace vnpu::virt {
+
+void
+InstVRouter::install(const RoutingTable* rt)
+{
+    VNPU_ASSERT(rt != nullptr);
+    if (!ctrl_.hyper_mode())
+        panic("installing a routing table requires hyper mode");
+    tables_[rt->vm()] = rt;
+}
+
+void
+InstVRouter::remove(VmId vm)
+{
+    if (!ctrl_.hyper_mode())
+        panic("removing a routing table requires hyper mode");
+    tables_.erase(vm);
+}
+
+InstVRouter::Dispatch
+InstVRouter::dispatch(VmId vm, CoreId vcore, core::DispatchVia via)
+{
+    auto it = tables_.find(vm);
+    if (it == tables_.end())
+        panic("vm ", vm, " has no routing table installed");
+    CoreId pcore = it->second->lookup(vcore);
+    if (pcore == kInvalidCore) {
+        // The routing table is the isolation boundary: a virtual core
+        // id outside the table must never reach a physical core.
+        panic("vm ", vm, " attempted to access out-of-range virtual core ",
+              vcore);
+    }
+    Cycles cost = ctrl_.dispatch_cost_virtual(vm, vcore, pcore, via);
+    return {pcore, cost};
+}
+
+NocVRouter::NocVRouter(const SocConfig& cfg, const RoutingTable& rt,
+                       const noc::RouteOverride* confined)
+    : cfg_(cfg), rt_(rt), confined_(confined)
+{
+}
+
+core::CoreVirtHooks::Xlat
+NocVRouter::translate_peer(CoreId vpeer)
+{
+    ++lookups_;
+    if (vpeer == last_vpeer_) {
+        ++hits_;
+        return {last_phys_, cfg_.rt_cached_cycles};
+    }
+    CoreId phys = rt_.lookup(vpeer);
+    if (phys == kInvalidCore)
+        panic("NoC vRouter: virtual core ", vpeer, " not in vm ", rt_.vm(),
+              "'s topology");
+    last_vpeer_ = vpeer;
+    last_phys_ = phys;
+    return {phys, cfg_.rt_lookup_cycles};
+}
+
+} // namespace vnpu::virt

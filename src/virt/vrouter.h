@@ -1,0 +1,100 @@
+/**
+ * @file
+ * vRouter: virtualization of the NPU instruction router and NoC router
+ * (paper §4.1).
+ *
+ * - InstVRouter lives in the NPU controller: it redirects offloaded NPU
+ *   instructions from virtual to physical cores through the routing
+ *   table, caching the last translation (consecutive instructions to
+ *   the same core skip the table query).
+ * - NocVRouter lives in each NPU core's send/receive engine: it
+ *   rewrites destination core ids in NoC transfers and, when isolation
+ *   is requested, supplies the predefined directions that confine
+ *   packets to the virtual topology.
+ */
+
+#ifndef VNPU_VIRT_VROUTER_H
+#define VNPU_VIRT_VROUTER_H
+
+#include <map>
+
+#include "core/controller.h"
+#include "core/npu_core.h"
+#include "noc/network.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "virt/routing_table.h"
+
+namespace vnpu::virt {
+
+/** Controller-side instruction redirection. */
+class InstVRouter {
+  public:
+    explicit InstVRouter(core::NpuController& ctrl) : ctrl_(ctrl) {}
+
+    /** Install a VM's routing table (hypervisor, hyper mode). */
+    void install(const RoutingTable* rt);
+
+    /** Remove a VM's routing table. */
+    void remove(VmId vm);
+
+    /** Result of one instruction dispatch. */
+    struct Dispatch {
+        CoreId pcore = kInvalidCore;
+        Cycles cost = 0;
+    };
+
+    /**
+     * Dispatch an instruction addressed to (vm, vcore): translate
+     * through the VM's routing table and pay the transport latency.
+     * Panics if the VM has no installed table (isolation violation).
+     */
+    Dispatch dispatch(VmId vm, CoreId vcore, core::DispatchVia via);
+
+    /** True when the vm has a table installed. */
+    bool has_vm(VmId vm) const { return tables_.count(vm) != 0; }
+
+  private:
+    core::NpuController& ctrl_;
+    std::map<VmId, const RoutingTable*> tables_;
+};
+
+/**
+ * Core-side NoC virtualization: implements the core's virtualization
+ * hook. One instance exists per (core, VM) context.
+ */
+class NocVRouter final : public core::CoreVirtHooks {
+  public:
+    /**
+     * @param cfg      timing constants
+     * @param rt       the VM's routing table (meta-zone resident)
+     * @param confined predefined directions confining packets to the
+     *                 virtual topology, or nullptr to use default DOR
+     *                 (which risks NoC interference, §4.1.2)
+     */
+    NocVRouter(const SocConfig& cfg, const RoutingTable& rt,
+               const noc::RouteOverride* confined);
+
+    Xlat translate_peer(CoreId vpeer) override;
+
+    const noc::RouteOverride* route_override() const override
+    {
+        return confined_;
+    }
+
+    std::uint64_t lookups() const { return lookups_.value(); }
+    std::uint64_t cached_hits() const { return hits_.value(); }
+
+  private:
+    const SocConfig& cfg_;
+    const RoutingTable& rt_;
+    const noc::RouteOverride* confined_;
+    CoreId last_vpeer_ = kInvalidCore;
+    CoreId last_phys_ = kInvalidCore;
+    Counter lookups_;
+    Counter hits_;
+};
+
+} // namespace vnpu::virt
+
+#endif // VNPU_VIRT_VROUTER_H

@@ -1,0 +1,234 @@
+#include "workload/layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace vnpu::workload {
+
+const char*
+to_string(LayerKind k)
+{
+    switch (k) {
+      case LayerKind::kConv:     return "conv";
+      case LayerKind::kLinear:   return "linear";
+      case LayerKind::kMatmul:   return "matmul";
+      case LayerKind::kPool:     return "pool";
+      case LayerKind::kElemwise: return "elemwise";
+    }
+    return "?";
+}
+
+std::uint64_t
+Layer::flops(int batch) const
+{
+    std::uint64_t b = static_cast<std::uint64_t>(batch);
+    switch (kind) {
+      case LayerKind::kConv: {
+        std::uint64_t macs_per_out = depthwise
+                                         ? static_cast<std::uint64_t>(
+                                               ksize * ksize)
+                                         : static_cast<std::uint64_t>(
+                                               cin * ksize * ksize);
+        return 2 * b * out_h() * out_w() * cout * macs_per_out;
+      }
+      case LayerKind::kLinear:
+      case LayerKind::kMatmul:
+        return 2 * b * m * k * n;
+      case LayerKind::kPool:
+      case LayerKind::kElemwise:
+        return b * static_cast<std::uint64_t>(elems);
+    }
+    return 0;
+}
+
+std::uint64_t
+Layer::weight_bytes() const
+{
+    switch (kind) {
+      case LayerKind::kConv:
+        if (depthwise)
+            return static_cast<std::uint64_t>(cout * ksize * ksize) *
+                   weight_elem_bytes;
+        return static_cast<std::uint64_t>(cin * cout * ksize * ksize) *
+               weight_elem_bytes;
+      case LayerKind::kLinear:
+        return static_cast<std::uint64_t>(k * n) * weight_elem_bytes;
+      default:
+        return 0;
+    }
+}
+
+std::uint64_t
+Layer::out_bytes(int batch) const
+{
+    std::uint64_t b = static_cast<std::uint64_t>(batch);
+    switch (kind) {
+      case LayerKind::kConv:
+        return b * out_h() * out_w() * cout * kElemBytes;
+      case LayerKind::kLinear:
+      case LayerKind::kMatmul:
+        return b * m * n * kElemBytes;
+      case LayerKind::kPool:
+      case LayerKind::kElemwise:
+        return b * elems * kElemBytes;
+    }
+    return 0;
+}
+
+std::uint64_t
+Layer::in_bytes(int batch) const
+{
+    std::uint64_t b = static_cast<std::uint64_t>(batch);
+    switch (kind) {
+      case LayerKind::kConv:
+        return b * h * w * cin * kElemBytes;
+      case LayerKind::kLinear:
+      case LayerKind::kMatmul:
+        return b * m * k * kElemBytes;
+      case LayerKind::kPool:
+      case LayerKind::kElemwise:
+        return b * elems * kElemBytes;
+    }
+    return 0;
+}
+
+core::ComputeDims
+Layer::lowered(int batch, double fraction) const
+{
+    VNPU_ASSERT(fraction > 0.0 && fraction <= 1.0);
+    core::ComputeDims d;
+    switch (kind) {
+      case LayerKind::kConv: {
+        d.kind = core::ComputeKind::kConv;
+        d.oh = out_h() * batch; // batch folded into the spatial dim
+        d.ow = out_w();
+        d.cin = depthwise ? ksize : cin; // depthwise: K = k*k per channel
+        d.cout = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(std::llround(cout * fraction)));
+        d.ksize = ksize;
+        break;
+      }
+      case LayerKind::kLinear:
+      case LayerKind::kMatmul: {
+        d.kind = core::ComputeKind::kMatmul;
+        d.m = m * batch;
+        d.k = k;
+        d.n = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(std::llround(n * fraction)));
+        break;
+      }
+      case LayerKind::kPool:
+      case LayerKind::kElemwise: {
+        d.kind = core::ComputeKind::kVector;
+        d.elems = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   std::llround(elems * batch * fraction)));
+        break;
+      }
+    }
+    return d;
+}
+
+Layer
+Layer::conv(std::string name, std::int64_t h, std::int64_t w,
+            std::int64_t cin, std::int64_t cout, std::int64_t ksize,
+            std::int64_t stride, bool depthwise)
+{
+    Layer l;
+    l.kind = LayerKind::kConv;
+    l.name = std::move(name);
+    l.h = h;
+    l.w = w;
+    l.cin = cin;
+    l.cout = cout;
+    l.ksize = ksize;
+    l.stride = stride;
+    l.depthwise = depthwise;
+    return l;
+}
+
+Layer
+Layer::linear(std::string name, std::int64_t m, std::int64_t k,
+              std::int64_t n)
+{
+    Layer l;
+    l.kind = LayerKind::kLinear;
+    l.name = std::move(name);
+    l.m = m;
+    l.k = k;
+    l.n = n;
+    return l;
+}
+
+Layer
+Layer::matmul(std::string name, std::int64_t m, std::int64_t k,
+              std::int64_t n)
+{
+    Layer l = linear(std::move(name), m, k, n);
+    l.kind = LayerKind::kMatmul;
+    return l;
+}
+
+Layer
+Layer::pool(std::string name, std::int64_t elems)
+{
+    Layer l;
+    l.kind = LayerKind::kPool;
+    l.name = std::move(name);
+    l.elems = elems;
+    return l;
+}
+
+Layer
+Layer::elemwise(std::string name, std::int64_t elems)
+{
+    Layer l = pool(std::move(name), elems);
+    l.kind = LayerKind::kElemwise;
+    return l;
+}
+
+std::uint64_t
+Model::total_flops() const
+{
+    std::uint64_t total = 0;
+    for (const Layer& l : layers)
+        total += l.flops(batch);
+    return total;
+}
+
+std::uint64_t
+Model::total_weight_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const Layer& l : layers)
+        total += l.weight_bytes();
+    return total;
+}
+
+void
+Model::set_weight_precision(int bytes)
+{
+    if (bytes < 1 || bytes > 8)
+        fatal("weight precision must be 1..8 bytes, got ", bytes);
+    for (Layer& l : layers)
+        l.weight_elem_bytes = static_cast<std::uint8_t>(bytes);
+}
+
+void
+Model::validate() const
+{
+    if (layers.empty())
+        fatal("model ", name, " has no layers");
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        for (int in : layers[i].inputs) {
+            if (in < 0 || static_cast<std::size_t>(in) >= i) {
+                fatal("model ", name, ": layer ", i,
+                      " consumes non-preceding layer ", in);
+            }
+        }
+    }
+}
+
+} // namespace vnpu::workload

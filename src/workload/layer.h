@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ML workload intermediate representation: a DAG of layers with enough
+ * shape information to derive FLOPs, weight bytes, activation bytes,
+ * and the lowered compute kernels for the NPU.
+ *
+ * All tensors are fp16 (2 bytes/element), matching inference practice
+ * on the NPUs the paper targets.
+ */
+
+#ifndef VNPU_WORKLOAD_LAYER_H
+#define VNPU_WORKLOAD_LAYER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/isa.h"
+#include "sim/types.h"
+
+namespace vnpu::workload {
+
+/** Bytes per tensor element (fp16). */
+inline constexpr std::uint64_t kElemBytes = 2;
+
+/** Layer families. */
+enum class LayerKind : std::uint8_t {
+    kConv,     ///< 2D convolution (optionally depthwise).
+    kLinear,   ///< Fully connected / projection (weights k x n).
+    kMatmul,   ///< Activation-activation matmul (no weights).
+    kPool,     ///< Pooling (vector unit).
+    kElemwise, ///< Residual add / activation / layernorm.
+};
+
+const char* to_string(LayerKind k);
+
+/** One layer of a model DAG. */
+struct Layer {
+    LayerKind kind = LayerKind::kElemwise;
+    std::string name;
+
+    // Conv parameters (input spatial h x w).
+    std::int64_t h = 0, w = 0, cin = 0, cout = 0;
+    std::int64_t ksize = 1, stride = 1;
+    bool depthwise = false;
+
+    // Linear / matmul parameters (m rows per batch item).
+    std::int64_t m = 0, k = 0, n = 0;
+
+    // Pool / elemwise element count per batch item.
+    std::int64_t elems = 0;
+
+    /** Bytes per weight element (2 = fp16, 1 = int8-quantized). */
+    std::uint8_t weight_elem_bytes = kElemBytes;
+
+    /** Producer layer indices (empty = model input). */
+    std::vector<int> inputs;
+
+    // ---- Derived quantities -------------------------------------------
+    std::int64_t out_h() const { return kind == LayerKind::kConv ? h / stride : 0; }
+    std::int64_t out_w() const { return kind == LayerKind::kConv ? w / stride : 0; }
+
+    /** FLOPs for a batch of `batch` inputs (MAC = 2 FLOPs). */
+    std::uint64_t flops(int batch) const;
+
+    /** Resident weight bytes (0 for weight-less layers). */
+    std::uint64_t weight_bytes() const;
+
+    /** Output activation bytes for a batch. */
+    std::uint64_t out_bytes(int batch) const;
+
+    /** Input activation bytes for a batch (model-input DMA sizing). */
+    std::uint64_t in_bytes(int batch) const;
+
+    /**
+     * Lower (a channel/output fraction of) this layer to a compute
+     * kernel. `fraction` in (0, 1] selects a slice of the output
+     * channels (conv) or output features (linear) for split layers.
+     */
+    core::ComputeDims lowered(int batch, double fraction) const;
+
+    // ---- Factories ------------------------------------------------------
+    static Layer conv(std::string name, std::int64_t h, std::int64_t w,
+                      std::int64_t cin, std::int64_t cout,
+                      std::int64_t ksize, std::int64_t stride = 1,
+                      bool depthwise = false);
+    static Layer linear(std::string name, std::int64_t m, std::int64_t k,
+                        std::int64_t n);
+    static Layer matmul(std::string name, std::int64_t m, std::int64_t k,
+                        std::int64_t n);
+    static Layer pool(std::string name, std::int64_t elems);
+    static Layer elemwise(std::string name, std::int64_t elems);
+};
+
+/** A whole model: a topologically ordered layer DAG. */
+struct Model {
+    std::string name;
+    int batch = 1;
+    std::vector<Layer> layers;
+
+    std::uint64_t total_flops() const;
+    std::uint64_t total_weight_bytes() const;
+
+    /**
+     * Quantize all weights to `bytes` per element (e.g. 1 for int8
+     * inference, common on NPUs; activations stay fp16).
+     */
+    void set_weight_precision(int bytes);
+
+    /** Validate DAG invariants (inputs precede consumers). */
+    void validate() const;
+};
+
+} // namespace vnpu::workload
+
+#endif // VNPU_WORKLOAD_LAYER_H

@@ -1,0 +1,441 @@
+#include "workload/model_zoo.h"
+
+#include "sim/log.h"
+
+namespace vnpu::workload {
+
+namespace {
+
+/** Append a layer consuming the previous one; returns its index. */
+int
+chain(Model& m, Layer l)
+{
+    if (!m.layers.empty())
+        l.inputs = {static_cast<int>(m.layers.size()) - 1};
+    m.layers.push_back(std::move(l));
+    return static_cast<int>(m.layers.size()) - 1;
+}
+
+/** Append a layer with explicit inputs; returns its index. */
+int
+add(Model& m, Layer l, std::vector<int> inputs)
+{
+    l.inputs = std::move(inputs);
+    m.layers.push_back(std::move(l));
+    return static_cast<int>(m.layers.size()) - 1;
+}
+
+/**
+ * A ResNet basic block: two 3x3 convs + skip add. `prev` is the input
+ * layer index; returns the output layer index.
+ */
+int
+basic_block(Model& m, int prev, std::int64_t hw, std::int64_t cin,
+            std::int64_t cout, std::int64_t stride, const std::string& tag)
+{
+    int c1 = add(m,
+                 Layer::conv(tag + ".conv1", hw, hw, cin, cout, 3, stride),
+                 {prev});
+    std::int64_t ohw = hw / stride;
+    int c2 = add(m, Layer::conv(tag + ".conv2", ohw, ohw, cout, cout, 3, 1),
+                 {c1});
+    int skip = prev;
+    if (stride != 1 || cin != cout) {
+        skip = add(m,
+                   Layer::conv(tag + ".down", hw, hw, cin, cout, 1, stride),
+                   {prev});
+    }
+    return add(m, Layer::elemwise(tag + ".add", ohw * ohw * cout),
+               {c2, skip});
+}
+
+/** Bottleneck block (ResNet-50 style). */
+int
+bottleneck(Model& m, int prev, std::int64_t hw, std::int64_t cin,
+           std::int64_t mid, std::int64_t stride, const std::string& tag)
+{
+    std::int64_t cout = mid * 4;
+    int c1 = add(m, Layer::conv(tag + ".c1", hw, hw, cin, mid, 1, 1),
+                 {prev});
+    int c2 = add(m, Layer::conv(tag + ".c2", hw, hw, mid, mid, 3, stride),
+                 {c1});
+    std::int64_t ohw = hw / stride;
+    int c3 = add(m, Layer::conv(tag + ".c3", ohw, ohw, mid, cout, 1, 1),
+                 {c2});
+    int skip = prev;
+    if (stride != 1 || cin != cout) {
+        skip = add(m,
+                   Layer::conv(tag + ".down", hw, hw, cin, cout, 1, stride),
+                   {prev});
+    }
+    return add(m, Layer::elemwise(tag + ".add", ohw * ohw * cout),
+               {c3, skip});
+}
+
+Model
+resnet(const std::string& name, const std::vector<int>& stage_blocks,
+       int batch)
+{
+    Model m;
+    m.name = name;
+    m.batch = batch;
+    chain(m, Layer::conv("stem", 224, 224, 3, 64, 7, 2));   // 112x112x64
+    chain(m, Layer::pool("maxpool", 56ll * 56 * 64));        // 56x56x64
+    int prev = static_cast<int>(m.layers.size()) - 1;
+
+    const std::int64_t chans[4] = {64, 128, 256, 512};
+    std::int64_t hw = 56;
+    std::int64_t cin = 64;
+    for (int s = 0; s < 4; ++s) {
+        for (int b = 0; b < stage_blocks[s]; ++b) {
+            std::int64_t stride = (s > 0 && b == 0) ? 2 : 1;
+            std::string tag =
+                "s" + std::to_string(s + 1) + "b" + std::to_string(b + 1);
+            prev = basic_block(m, prev, hw, cin, chans[s], stride, tag);
+            hw /= stride;
+            cin = chans[s];
+        }
+    }
+    add(m, Layer::pool("avgpool", cin), {prev});
+    chain(m, Layer::linear("fc", 1, cin, 1000));
+    m.validate();
+    return m;
+}
+
+/** One transformer decoder block appended after `prev`. */
+int
+decoder_block(Model& m, int prev, std::int64_t seq, std::int64_t dim,
+              const std::string& tag)
+{
+    int ln1 = add(m, Layer::elemwise(tag + ".ln1", seq * dim), {prev});
+    int qkv = add(m, Layer::linear(tag + ".qkv", seq, dim, 3 * dim), {ln1});
+    // Scores and weighted sum across all heads.
+    int att = add(m, Layer::matmul(tag + ".scores", seq, dim, seq), {qkv});
+    int ctx = add(m, Layer::matmul(tag + ".ctx", seq, seq, dim), {att});
+    int proj = add(m, Layer::linear(tag + ".proj", seq, dim, dim), {ctx});
+    int res1 = add(m, Layer::elemwise(tag + ".add1", seq * dim),
+                   {proj, prev});
+    int ln2 = add(m, Layer::elemwise(tag + ".ln2", seq * dim), {res1});
+    int ff1 = add(m, Layer::linear(tag + ".ff1", seq, dim, 4 * dim), {ln2});
+    int ff2 = add(m, Layer::linear(tag + ".ff2", seq, 4 * dim, dim), {ff1});
+    return add(m, Layer::elemwise(tag + ".add2", seq * dim), {ff2, res1});
+}
+
+Model
+decoder_stack(const std::string& name, int layers, std::int64_t seq,
+              std::int64_t dim, int batch)
+{
+    Model m;
+    m.name = name;
+    m.batch = batch;
+    chain(m, Layer::elemwise("embed", seq * dim));
+    int prev = 0;
+    for (int i = 0; i < layers; ++i)
+        prev = decoder_block(m, prev, seq, dim, "blk" + std::to_string(i));
+    add(m, Layer::elemwise("ln_f", seq * dim), {prev});
+    m.validate();
+    return m;
+}
+
+} // namespace
+
+Model
+alexnet(int batch)
+{
+    Model m;
+    m.name = "alexnet";
+    m.batch = batch;
+    chain(m, Layer::conv("c1", 224, 224, 3, 64, 11, 4));
+    chain(m, Layer::pool("p1", 55ll * 55 * 64));
+    chain(m, Layer::conv("c2", 27, 27, 64, 192, 5, 1));
+    chain(m, Layer::pool("p2", 27ll * 27 * 192));
+    chain(m, Layer::conv("c3", 13, 13, 192, 384, 3, 1));
+    chain(m, Layer::conv("c4", 13, 13, 384, 256, 3, 1));
+    chain(m, Layer::conv("c5", 13, 13, 256, 256, 3, 1));
+    chain(m, Layer::pool("p3", 13ll * 13 * 256));
+    chain(m, Layer::linear("fc6", 1, 9216, 4096));
+    chain(m, Layer::linear("fc7", 1, 4096, 4096));
+    chain(m, Layer::linear("fc8", 1, 4096, 1000));
+    m.validate();
+    return m;
+}
+
+Model
+resnet18(int batch)
+{
+    return resnet("resnet18", {2, 2, 2, 2}, batch);
+}
+
+Model
+resnet34(int batch)
+{
+    return resnet("resnet34", {3, 4, 6, 3}, batch);
+}
+
+Model
+resnet50(int batch)
+{
+    Model m;
+    m.name = "resnet50";
+    m.batch = batch;
+    chain(m, Layer::conv("stem", 224, 224, 3, 64, 7, 2));
+    chain(m, Layer::pool("maxpool", 56ll * 56 * 64));
+    int prev = static_cast<int>(m.layers.size()) - 1;
+    const int blocks[4] = {3, 4, 6, 3};
+    const std::int64_t mids[4] = {64, 128, 256, 512};
+    std::int64_t hw = 56, cin = 64;
+    for (int s = 0; s < 4; ++s) {
+        for (int b = 0; b < blocks[s]; ++b) {
+            std::int64_t stride = (s > 0 && b == 0) ? 2 : 1;
+            std::string tag =
+                "s" + std::to_string(s + 1) + "b" + std::to_string(b + 1);
+            prev = bottleneck(m, prev, hw, cin, mids[s], stride, tag);
+            hw /= stride;
+            cin = mids[s] * 4;
+        }
+    }
+    add(m, Layer::pool("avgpool", cin), {prev});
+    chain(m, Layer::linear("fc", 1, cin, 1000));
+    m.validate();
+    return m;
+}
+
+Model
+googlenet(int batch)
+{
+    // Inception modules approximated by their four branches.
+    Model m;
+    m.name = "googlenet";
+    m.batch = batch;
+    chain(m, Layer::conv("stem1", 224, 224, 3, 64, 7, 2));
+    chain(m, Layer::pool("p1", 56ll * 56 * 64));
+    chain(m, Layer::conv("stem2", 56, 56, 64, 192, 3, 1));
+    chain(m, Layer::pool("p2", 28ll * 28 * 192));
+    int prev = static_cast<int>(m.layers.size()) - 1;
+
+    struct Inc { std::int64_t hw, cin, b1, b3r, b3, b5r, b5, pp; };
+    const Inc incs[] = {
+        {28, 192, 64, 96, 128, 16, 32, 32},   {28, 256, 128, 128, 192, 32, 96, 64},
+        {14, 480, 192, 96, 208, 16, 48, 64},  {14, 512, 160, 112, 224, 24, 64, 64},
+        {14, 512, 128, 128, 256, 24, 64, 64}, {14, 512, 112, 144, 288, 32, 64, 64},
+        {14, 528, 256, 160, 320, 32, 128, 128},
+        {7, 832, 256, 160, 320, 32, 128, 128},
+        {7, 832, 384, 192, 384, 48, 128, 128},
+    };
+    int idx = 0;
+    for (const Inc& ic : incs) {
+        std::string tag = "inc" + std::to_string(++idx);
+        int b1 = add(m, Layer::conv(tag + ".1x1", ic.hw, ic.hw, ic.cin,
+                                    ic.b1, 1, 1), {prev});
+        int b3r = add(m, Layer::conv(tag + ".3r", ic.hw, ic.hw, ic.cin,
+                                     ic.b3r, 1, 1), {prev});
+        int b3 = add(m, Layer::conv(tag + ".3x3", ic.hw, ic.hw, ic.b3r,
+                                    ic.b3, 3, 1), {b3r});
+        int b5r = add(m, Layer::conv(tag + ".5r", ic.hw, ic.hw, ic.cin,
+                                     ic.b5r, 1, 1), {prev});
+        int b5 = add(m, Layer::conv(tag + ".5x5", ic.hw, ic.hw, ic.b5r,
+                                    ic.b5, 5, 1), {b5r});
+        int pp = add(m, Layer::conv(tag + ".pp", ic.hw, ic.hw, ic.cin,
+                                    ic.pp, 1, 1), {prev});
+        std::int64_t cat =
+            ic.hw * ic.hw * (ic.b1 + ic.b3 + ic.b5 + ic.pp);
+        prev = add(m, Layer::elemwise(tag + ".cat", cat), {b1, b3, b5, pp});
+    }
+    add(m, Layer::pool("avgpool", 1024), {prev});
+    chain(m, Layer::linear("fc", 1, 1024, 1000));
+    m.validate();
+    return m;
+}
+
+Model
+mobilenet(int batch)
+{
+    Model m;
+    m.name = "mobilenet";
+    m.batch = batch;
+    chain(m, Layer::conv("stem", 224, 224, 3, 32, 3, 2));
+    struct Dw { std::int64_t hw, cin, cout, stride; };
+    const Dw dws[] = {
+        {112, 32, 64, 1},  {112, 64, 128, 2}, {56, 128, 128, 1},
+        {56, 128, 256, 2}, {28, 256, 256, 1}, {28, 256, 512, 2},
+        {14, 512, 512, 1}, {14, 512, 512, 1}, {14, 512, 512, 1},
+        {14, 512, 512, 1}, {14, 512, 512, 1}, {14, 512, 1024, 2},
+        {7, 1024, 1024, 1},
+    };
+    int idx = 0;
+    for (const Dw& d : dws) {
+        std::string tag = "dw" + std::to_string(++idx);
+        chain(m, Layer::conv(tag + ".dw", d.hw, d.hw, d.cin, d.cin, 3,
+                             d.stride, /*depthwise=*/true));
+        std::int64_t ohw = d.hw / d.stride;
+        chain(m, Layer::conv(tag + ".pw", ohw, ohw, d.cin, d.cout, 1, 1));
+    }
+    chain(m, Layer::pool("avgpool", 1024));
+    chain(m, Layer::linear("fc", 1, 1024, 1000));
+    m.validate();
+    return m;
+}
+
+Model
+yololite(int batch)
+{
+    Model m;
+    m.name = "yololite";
+    m.batch = batch;
+    chain(m, Layer::conv("c1", 224, 224, 3, 16, 3, 1));
+    chain(m, Layer::pool("p1", 112ll * 112 * 16));
+    chain(m, Layer::conv("c2", 112, 112, 16, 32, 3, 1));
+    chain(m, Layer::pool("p2", 56ll * 56 * 32));
+    chain(m, Layer::conv("c3", 56, 56, 32, 64, 3, 1));
+    chain(m, Layer::pool("p3", 28ll * 28 * 64));
+    chain(m, Layer::conv("c4", 28, 28, 64, 128, 3, 1));
+    chain(m, Layer::pool("p4", 14ll * 14 * 128));
+    chain(m, Layer::conv("c5", 14, 14, 128, 128, 3, 1));
+    chain(m, Layer::conv("c6", 14, 14, 128, 125, 1, 1));
+    m.validate();
+    return m;
+}
+
+Model
+retinanet(int batch)
+{
+    Model m = resnet50(batch);
+    m.name = "retinanet";
+    // Detection head: class + box towers on the last feature map.
+    int prev = static_cast<int>(m.layers.size()) - 1;
+    for (int i = 0; i < 4; ++i) {
+        prev = add(m, Layer::conv("head.c" + std::to_string(i), 7, 7, 256,
+                                  256, 3, 1), {prev});
+    }
+    add(m, Layer::conv("head.cls", 7, 7, 256, 720, 3, 1), {prev});
+    add(m, Layer::conv("head.box", 7, 7, 256, 36, 3, 1), {prev});
+    m.validate();
+    return m;
+}
+
+Model
+efficientnet(int batch)
+{
+    // EfficientNet-B0 approximated by its MBConv stages.
+    Model m;
+    m.name = "efficientnet";
+    m.batch = batch;
+    chain(m, Layer::conv("stem", 224, 224, 3, 32, 3, 2));
+    struct Mb { std::int64_t hw, cin, cout, k, stride, expand; };
+    const Mb mbs[] = {
+        {112, 32, 16, 3, 1, 1},  {112, 16, 24, 3, 2, 6},
+        {56, 24, 40, 5, 2, 6},   {28, 40, 80, 3, 2, 6},
+        {14, 80, 112, 5, 1, 6},  {14, 112, 192, 5, 2, 6},
+        {7, 192, 320, 3, 1, 6},
+    };
+    int idx = 0;
+    for (const Mb& b : mbs) {
+        std::string tag = "mb" + std::to_string(++idx);
+        std::int64_t mid = b.cin * b.expand;
+        if (b.expand > 1)
+            chain(m, Layer::conv(tag + ".exp", b.hw, b.hw, b.cin, mid, 1, 1));
+        chain(m, Layer::conv(tag + ".dw", b.hw, b.hw, mid, mid, b.k,
+                             b.stride, /*depthwise=*/true));
+        std::int64_t ohw = b.hw / b.stride;
+        chain(m, Layer::conv(tag + ".pw", ohw, ohw, mid, b.cout, 1, 1));
+    }
+    chain(m, Layer::conv("head", 7, 7, 320, 1280, 1, 1));
+    chain(m, Layer::pool("avgpool", 1280));
+    chain(m, Layer::linear("fc", 1, 1280, 1000));
+    m.validate();
+    return m;
+}
+
+Model
+gpt2(Gpt2Size size, int seq, int batch)
+{
+    switch (size) {
+      case Gpt2Size::kSmall:
+        return decoder_stack("gpt2-s", 12, seq, 768, batch);
+      case Gpt2Size::kMedium:
+        return decoder_stack("gpt2-m", 24, seq, 1024, batch);
+      case Gpt2Size::kLarge:
+        return decoder_stack("gpt2-l", 36, seq, 1280, batch);
+    }
+    panic("unknown gpt2 size");
+}
+
+Model
+bert_base(int seq, int batch)
+{
+    return decoder_stack("bert", 12, seq, 768, batch);
+}
+
+Model
+transformer(int seq, int dim, int layers, int batch)
+{
+    return decoder_stack("transformer", layers, seq, dim, batch);
+}
+
+Model
+dlrm(int batch)
+{
+    Model m;
+    m.name = "dlrm";
+    m.batch = batch;
+    // Bottom MLP + feature interaction + top MLP (embedding gathers are
+    // HBM traffic, not resident weights).
+    chain(m, Layer::linear("bot1", 1, 13, 512));
+    chain(m, Layer::linear("bot2", 1, 512, 256));
+    chain(m, Layer::linear("bot3", 1, 256, 128));
+    chain(m, Layer::matmul("interact", 27, 128, 27));
+    chain(m, Layer::linear("top1", 1, 479, 1024));
+    chain(m, Layer::linear("top2", 1, 1024, 1024));
+    chain(m, Layer::linear("top3", 1, 1024, 256));
+    chain(m, Layer::linear("top4", 1, 256, 1));
+    m.validate();
+    return m;
+}
+
+Model
+transformer_block(int dim, int seq, int batch)
+{
+    Model m;
+    m.name = std::to_string(dim) + "dim_" + std::to_string(seq) + "slen";
+    m.batch = batch;
+    chain(m, Layer::elemwise("in", static_cast<std::int64_t>(seq) * dim));
+    decoder_block(m, 0, seq, dim, "blk");
+    m.validate();
+    return m;
+}
+
+Model
+resnet_block(int wh, int channels, int batch)
+{
+    Model m;
+    m.name = std::to_string(wh) + "wh_" + std::to_string(channels) + "c";
+    m.batch = batch;
+    chain(m, Layer::elemwise(
+                 "in", static_cast<std::int64_t>(wh) * wh * channels));
+    basic_block(m, 0, wh, channels, channels, 1, "blk");
+    m.validate();
+    return m;
+}
+
+Model
+by_name(const std::string& name, int batch)
+{
+    if (name == "alexnet") return alexnet(batch);
+    if (name == "resnet18") return resnet18(batch);
+    if (name == "resnet34") return resnet34(batch);
+    if (name == "resnet50") return resnet50(batch);
+    if (name == "googlenet") return googlenet(batch);
+    if (name == "mobilenet") return mobilenet(batch);
+    if (name == "yololite") return yololite(batch);
+    if (name == "retinanet") return retinanet(batch);
+    if (name == "efficientnet") return efficientnet(batch);
+    if (name == "gpt2-s") return gpt2(Gpt2Size::kSmall, 128, batch);
+    if (name == "gpt2-m") return gpt2(Gpt2Size::kMedium, 128, batch);
+    if (name == "gpt2-l") return gpt2(Gpt2Size::kLarge, 128, batch);
+    if (name == "bert") return bert_base(128, batch);
+    if (name == "dlrm") return dlrm(batch);
+    if (name == "transformer") return transformer(64, 512, 6, batch);
+    fatal("unknown model '", name, "'");
+}
+
+} // namespace vnpu::workload

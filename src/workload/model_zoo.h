@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Model zoo: the workloads used across the paper's evaluation, built
+ * from public architecture descriptions.
+ *
+ * CNNs take 224x224x3 inputs unless noted. Transformer models cover
+ * the decoder blocks only (embedding tables live in HBM and are
+ * gathered, not resident). The Figure 15 micro-blocks
+ * (transformer_block / resnet_block) match the paper's labels, e.g.
+ * "128dim_16slen" and "16wh_64c".
+ */
+
+#ifndef VNPU_WORKLOAD_MODEL_ZOO_H
+#define VNPU_WORKLOAD_MODEL_ZOO_H
+
+#include "workload/layer.h"
+
+namespace vnpu::workload {
+
+/** GPT-2 family sizes. */
+enum class Gpt2Size { kSmall, kMedium, kLarge };
+
+// ---- CNNs ---------------------------------------------------------------
+Model alexnet(int batch = 1);
+Model resnet18(int batch = 1);
+Model resnet34(int batch = 1);
+Model resnet50(int batch = 1);
+Model googlenet(int batch = 1);
+Model mobilenet(int batch = 1);
+Model yololite(int batch = 1);
+Model retinanet(int batch = 1);   ///< ResNet backbone + detection head.
+Model efficientnet(int batch = 1);
+
+// ---- Transformers ----------------------------------------------------------
+Model gpt2(Gpt2Size size, int seq = 128, int batch = 1);
+Model bert_base(int seq = 128, int batch = 1);
+Model transformer(int seq = 64, int dim = 512, int layers = 6,
+                  int batch = 1); ///< generic encoder stack (Fig 14)
+
+// ---- Recommendation ----------------------------------------------------------
+Model dlrm(int batch = 1);
+
+// ---- Figure 15 micro-blocks -------------------------------------------------
+/** One transformer decoder block, e.g. dim=128, seq=16. */
+Model transformer_block(int dim, int seq, int batch = 1);
+/** One residual CNN block, e.g. wh=16, c=64. */
+Model resnet_block(int wh, int channels, int batch = 1);
+
+/** Look up a model by short name ("resnet34", "gpt2-l", ...). */
+Model by_name(const std::string& name, int batch = 1);
+
+} // namespace vnpu::workload
+
+#endif // VNPU_WORKLOAD_MODEL_ZOO_H

@@ -1,0 +1,175 @@
+#include "workload/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sim/log.h"
+
+namespace vnpu::workload {
+
+std::uint64_t
+PipelinePlan::stage_flops(const Model& m, int stage) const
+{
+    double total = 0;
+    for (const StageSlice& s : stages[stage].slices)
+        total += s.fraction * static_cast<double>(
+                                  m.layers[s.layer].flops(m.batch));
+    return static_cast<std::uint64_t>(total);
+}
+
+std::uint64_t
+PipelinePlan::stage_weight_bytes(const Model& m, int stage) const
+{
+    double total = 0;
+    for (const StageSlice& s : stages[stage].slices)
+        total += s.fraction *
+                 static_cast<double>(m.layers[s.layer].weight_bytes());
+    return static_cast<std::uint64_t>(total);
+}
+
+double
+PipelinePlan::imbalance(const Model& m) const
+{
+    std::uint64_t max_f = 0, sum = 0;
+    for (int s = 0; s < num_stages; ++s) {
+        std::uint64_t f = stage_flops(m, s);
+        max_f = std::max(max_f, f);
+        sum += f;
+    }
+    double mean = static_cast<double>(sum) / num_stages;
+    return mean > 0 ? static_cast<double>(max_f) / mean : 1.0;
+}
+
+PipelinePlan
+make_pipeline_plan(const Model& m, int num_stages)
+{
+    if (num_stages < 1)
+        fatal("pipeline needs at least one stage");
+    m.validate();
+
+    PipelinePlan plan;
+
+    // 1. Contiguous cut of the (topological) layer order into
+    //    min(num_stages, L) parts minimizing the maximum stage FLOPs
+    //    (classic linear-partition dynamic program).
+    const int L = static_cast<int>(m.layers.size());
+    const int parts = std::min(num_stages, L);
+    std::vector<double> pre(L + 1, 0.0);
+    for (int l = 0; l < L; ++l)
+        pre[l + 1] = pre[l] + static_cast<double>(m.layers[l].flops(m.batch));
+
+    constexpr double kInf = 1e300;
+    // dp[s][i]: minimal max-load splitting the first i layers into s
+    // parts; cut[s][i]: position of the last boundary.
+    std::vector<std::vector<double>> dp(parts + 1,
+                                        std::vector<double>(L + 1, kInf));
+    std::vector<std::vector<int>> cut(parts + 1,
+                                      std::vector<int>(L + 1, 0));
+    for (int i = 1; i <= L; ++i)
+        dp[1][i] = pre[i];
+    for (int s = 2; s <= parts; ++s) {
+        for (int i = s; i <= L; ++i) {
+            for (int j = s - 1; j < i; ++j) {
+                double load = std::max(dp[s - 1][j], pre[i] - pre[j]);
+                if (load < dp[s][i]) {
+                    dp[s][i] = load;
+                    cut[s][i] = j;
+                }
+            }
+        }
+    }
+    std::vector<int> bounds(parts + 1);
+    bounds[parts] = L;
+    for (int s = parts; s >= 1; --s)
+        bounds[s - 1] = cut[s][bounds[s]];
+    for (int s = 0; s < parts; ++s) {
+        Stage stage;
+        for (int l = bounds[s]; l < bounds[s + 1]; ++l)
+            stage.slices.push_back({l, 1.0});
+        plan.stages.push_back(std::move(stage));
+    }
+
+    // 2. Grow to exactly num_stages by splitting the heaviest stage:
+    //    multi-slice stages split their layer list; single-slice stages
+    //    split by output channels (data parallel within the layer).
+    auto stage_cost = [&](const Stage& s) {
+        double f = 0;
+        for (const StageSlice& sl : s.slices)
+            f += sl.fraction *
+                 static_cast<double>(m.layers[sl.layer].flops(m.batch));
+        return f;
+    };
+    while (static_cast<int>(plan.stages.size()) < num_stages) {
+        int heavy = 0;
+        double heavy_cost = -1;
+        for (int s = 0; s < static_cast<int>(plan.stages.size()); ++s) {
+            double c = stage_cost(plan.stages[s]);
+            if (c > heavy_cost) {
+                heavy_cost = c;
+                heavy = s;
+            }
+        }
+        Stage& hs = plan.stages[heavy];
+        Stage second;
+        if (hs.slices.size() > 1) {
+            // Move the tail slices (about half the FLOPs) to a new stage.
+            double half = heavy_cost / 2, run = 0;
+            std::size_t cut = hs.slices.size() - 1;
+            for (std::size_t i = 0; i < hs.slices.size(); ++i) {
+                run += hs.slices[i].fraction *
+                       static_cast<double>(
+                           m.layers[hs.slices[i].layer].flops(m.batch));
+                if (run >= half) {
+                    cut = std::max<std::size_t>(1, i + 1);
+                    break;
+                }
+            }
+            cut = std::min(cut, hs.slices.size() - 1);
+            second.slices.assign(hs.slices.begin() + cut, hs.slices.end());
+            hs.slices.resize(cut);
+        } else {
+            // Channel split of a single slice.
+            StageSlice& sl = hs.slices.front();
+            second.slices.push_back({sl.layer, sl.fraction / 2});
+            sl.fraction /= 2;
+        }
+        plan.stages.insert(plan.stages.begin() + heavy + 1,
+                           std::move(second));
+    }
+    plan.num_stages = static_cast<int>(plan.stages.size());
+    VNPU_ASSERT(plan.num_stages == num_stages);
+
+    // 3. Dataflow edges: producer slices feed every stage holding a
+    //    consumer slice (channel-split consumers need the whole input).
+    //    producer_stages[l] = list of (stage, fraction).
+    std::vector<std::vector<std::pair<int, double>>> producers(
+        m.layers.size());
+    for (int s = 0; s < plan.num_stages; ++s)
+        for (const StageSlice& sl : plan.stages[s].slices)
+            producers[sl.layer].emplace_back(s, sl.fraction);
+
+    int tag = 0;
+    for (int s = 0; s < plan.num_stages; ++s) {
+        std::set<int> handled_inputs;
+        for (const StageSlice& sl : plan.stages[s].slices) {
+            for (int u : m.layers[sl.layer].inputs) {
+                if (!handled_inputs.insert(u).second)
+                    continue; // this stage already receives layer u
+                for (auto [ps, frac] : producers[u]) {
+                    if (ps == s)
+                        continue;
+                    std::uint64_t bytes = static_cast<std::uint64_t>(
+                        std::llround(frac * static_cast<double>(
+                                                m.layers[u].out_bytes(
+                                                    m.batch))));
+                    bytes = std::max<std::uint64_t>(bytes, kElemBytes);
+                    plan.edges.push_back({ps, s, bytes, tag++});
+                }
+            }
+        }
+    }
+    return plan;
+}
+
+} // namespace vnpu::workload

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Pipeline partitioner: maps a model DAG onto N virtual cores.
+ *
+ * This mirrors how IPU-style toolchains place a computation graph: the
+ * layer sequence is cut into N FLOP-balanced pipeline stages (stage i
+ * runs on virtual core i, which is why the requested virtual topology
+ * is a snake through a mesh). When there are more cores than layers,
+ * the heaviest layers are split by output channels across several
+ * cores.
+ */
+
+#ifndef VNPU_WORKLOAD_PARTITIONER_H
+#define VNPU_WORKLOAD_PARTITIONER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/layer.h"
+
+namespace vnpu::workload {
+
+/** A fraction of one layer assigned to a stage. */
+struct StageSlice {
+    int layer = -1;        ///< Index into Model::layers.
+    double fraction = 1.0; ///< Output-channel fraction (0, 1].
+};
+
+/** One pipeline stage (one virtual core). */
+struct Stage {
+    std::vector<StageSlice> slices;
+};
+
+/** A dataflow edge between stages. */
+struct CommEdge {
+    int src_stage = -1;
+    int dst_stage = -1;
+    std::uint64_t bytes = 0;
+    int tag = 0;           ///< Unique per edge within the plan.
+};
+
+/** The full placement of a model onto N cores. */
+struct PipelinePlan {
+    int num_stages = 0;
+    std::vector<Stage> stages;
+    std::vector<CommEdge> edges;
+
+    /** FLOPs executed by one stage per iteration. */
+    std::uint64_t stage_flops(const Model& m, int stage) const;
+
+    /** Resident weight bytes of one stage. */
+    std::uint64_t stage_weight_bytes(const Model& m, int stage) const;
+
+    /** Ratio of the heaviest stage to the mean (balance quality). */
+    double imbalance(const Model& m) const;
+};
+
+/**
+ * Build a FLOP-balanced pipeline plan over `num_stages` stages.
+ * @pre num_stages >= 1
+ */
+PipelinePlan make_pipeline_plan(const Model& m, int num_stages);
+
+} // namespace vnpu::workload
+
+#endif // VNPU_WORKLOAD_PARTITIONER_H

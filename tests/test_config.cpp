@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests pinning the Table 2 SoC configuration presets and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/log.h"
+
+namespace vnpu {
+namespace {
+
+TEST(ConfigTest, FpgaPresetMatchesTable2)
+{
+    SocConfig c = SocConfig::Fpga();
+    c.validate();
+    EXPECT_EQ(c.num_cores(), 8);                       // 8 tiles
+    EXPECT_EQ(c.sa_dim, 16);                           // 16x16 SA
+    EXPECT_EQ(c.spad_bytes_per_core, 512u * 1024u);    // 512 KB/tile
+    EXPECT_EQ(c.total_spad_bytes(), 4u * 1024u * 1024u); // 4 MB total
+    EXPECT_DOUBLE_EQ(c.hbm_bytes_per_cycle, 16.0);     // 16 GB/s @ 1 GHz
+    EXPECT_DOUBLE_EQ(c.freq_ghz, 1.0);
+}
+
+TEST(ConfigTest, SimPresetMatchesTable2)
+{
+    SocConfig c = SocConfig::Sim();
+    c.validate();
+    EXPECT_EQ(c.num_cores(), 36);                      // 36 tiles
+    EXPECT_EQ(c.sa_dim, 128);                          // 128x128 SA
+    EXPECT_EQ(c.spad_bytes_per_core, 30ull << 20);     // 30 MB/tile
+    EXPECT_EQ(c.total_spad_bytes(), 1080ull << 20);    // 1080 MB total
+    EXPECT_DOUBLE_EQ(c.freq_ghz, 0.5);                 // 500 MHz
+    // 360 GB/s at 500 MHz = 720 bytes per cycle.
+    EXPECT_DOUBLE_EQ(c.hbm_bytes_per_cycle, 720.0);
+}
+
+TEST(ConfigTest, Sim48HasFortyEightCores)
+{
+    SocConfig c = SocConfig::Sim48();
+    c.validate();
+    EXPECT_EQ(c.num_cores(), 48);
+    EXPECT_EQ(c.total_spad_bytes(), 1440ull << 20);    // 1440 MB total
+}
+
+TEST(ConfigTest, SecondsConversion)
+{
+    SocConfig c = SocConfig::Fpga();
+    EXPECT_DOUBLE_EQ(c.seconds(1'000'000'000ull), 1.0); // 1e9 cyc @ 1 GHz
+    c = SocConfig::Sim();
+    EXPECT_DOUBLE_EQ(c.seconds(500'000'000ull), 1.0);   // 5e8 cyc @ 0.5 GHz
+}
+
+TEST(ConfigTest, PeakMacs)
+{
+    SocConfig c = SocConfig::Fpga();
+    EXPECT_DOUBLE_EQ(c.peak_macs_per_cycle(), 256.0);
+    c = SocConfig::Sim();
+    EXPECT_DOUBLE_EQ(c.peak_macs_per_cycle(), 16384.0);
+}
+
+TEST(ConfigValidationTest, RejectsBadMesh)
+{
+    SocConfig c = SocConfig::Fpga();
+    c.mesh_x = 0;
+    EXPECT_THROW(c.validate(), SimFatal);
+    c = SocConfig::Fpga();
+    c.mesh_x = 9;
+    c.mesh_y = 9; // 81 cores > 64-core cap
+    EXPECT_THROW(c.validate(), SimFatal);
+}
+
+TEST(ConfigValidationTest, RejectsBadBandwidthAndZones)
+{
+    SocConfig c = SocConfig::Fpga();
+    c.link_bytes_per_cycle = 0;
+    EXPECT_THROW(c.validate(), SimFatal);
+
+    c = SocConfig::Fpga();
+    c.meta_zone_bytes = c.spad_bytes_per_core;
+    EXPECT_THROW(c.validate(), SimFatal);
+
+    c = SocConfig::Fpga();
+    c.hbm_channels = 0;
+    EXPECT_THROW(c.validate(), SimFatal);
+}
+
+} // namespace
+} // namespace vnpu

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for connected-induced-subgraph enumeration, checked against a
+ * brute-force reference over all C(n, k) subsets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "graph/enumerate.h"
+#include "graph/graph.h"
+#include "sim/rng.h"
+
+namespace vnpu::graph {
+namespace {
+
+/** Brute force: all k-subsets of `allowed` that induce a connected set. */
+std::set<NodeMask>
+brute_force(const Graph& g, int k, NodeMask allowed)
+{
+    std::vector<int> nodes = Graph::mask_to_nodes(allowed);
+    std::set<NodeMask> out;
+    int n = static_cast<int>(nodes.size());
+    // Iterate all k-combinations via bit tricks over positions.
+    std::vector<int> idx(k);
+    for (int i = 0; i < k; ++i)
+        idx[i] = i;
+    if (k > n)
+        return out;
+    while (true) {
+        NodeMask m = 0;
+        for (int i : idx)
+            m |= NodeMask{1} << nodes[i];
+        if (g.is_connected_subset(m))
+            out.insert(m);
+        // next combination
+        int i = k - 1;
+        while (i >= 0 && idx[i] == n - k + i)
+            --i;
+        if (i < 0)
+            break;
+        ++idx[i];
+        for (int j = i + 1; j < k; ++j)
+            idx[j] = idx[j - 1] + 1;
+    }
+    return out;
+}
+
+NodeMask
+full_mask(int n)
+{
+    return n == 64 ? ~NodeMask{0} : (NodeMask{1} << n) - 1;
+}
+
+TEST(EnumerateTest, MatchesBruteForceOnMesh3x3)
+{
+    Graph g = Graph::mesh(3, 3);
+    for (int k = 1; k <= 6; ++k) {
+        std::set<NodeMask> expected = brute_force(g, k, full_mask(9));
+        std::set<NodeMask> got;
+        enumerate_connected_subsets(g, k, full_mask(9), [&](NodeMask m) {
+            EXPECT_TRUE(got.insert(m).second) << "duplicate subset";
+            return true;
+        });
+        EXPECT_EQ(got, expected) << "k=" << k;
+    }
+}
+
+TEST(EnumerateTest, MatchesBruteForceWithRestrictedAllowedSet)
+{
+    Graph g = Graph::mesh(4, 3);
+    // Exclude two cores, as if already allocated to another vNPU.
+    NodeMask allowed = full_mask(12) & ~(NodeMask{1} << 0) &
+                       ~(NodeMask{1} << 7);
+    for (int k = 2; k <= 5; ++k) {
+        std::set<NodeMask> expected = brute_force(g, k, allowed);
+        std::set<NodeMask> got;
+        enumerate_connected_subsets(g, k, allowed, [&](NodeMask m) {
+            got.insert(m);
+            return true;
+        });
+        EXPECT_EQ(got, expected) << "k=" << k;
+    }
+}
+
+TEST(EnumerateTest, MatchesBruteForceOnRandomGraphs)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        int n = 6 + static_cast<int>(rng.next_below(5));
+        Graph g(n);
+        for (int a = 0; a < n; ++a)
+            for (int b = a + 1; b < n; ++b)
+                if (rng.next_double() < 0.3)
+                    g.add_edge(a, b);
+        int k = 2 + static_cast<int>(rng.next_below(4));
+        EXPECT_EQ(count_connected_subsets(g, k, full_mask(n)),
+                  brute_force(g, k, full_mask(n)).size())
+            << "trial " << trial << " n=" << n << " k=" << k;
+    }
+}
+
+TEST(EnumerateTest, MaxResultsStopsEarly)
+{
+    Graph g = Graph::mesh(4, 4);
+    std::uint64_t seen = 0;
+    std::uint64_t produced = enumerate_connected_subsets(
+        g, 4, full_mask(16),
+        [&](NodeMask) {
+            ++seen;
+            return true;
+        },
+        10);
+    EXPECT_EQ(produced, 10u);
+    EXPECT_EQ(seen, 10u);
+}
+
+TEST(EnumerateTest, CallbackFalseStops)
+{
+    Graph g = Graph::mesh(4, 4);
+    std::uint64_t seen = 0;
+    enumerate_connected_subsets(g, 3, full_mask(16), [&](NodeMask) {
+        ++seen;
+        return seen < 5;
+    });
+    EXPECT_EQ(seen, 5u);
+}
+
+TEST(EnumerateTest, DegenerateCases)
+{
+    Graph g = Graph::mesh(2, 2);
+    EXPECT_EQ(count_connected_subsets(g, 0, full_mask(4)), 0u);
+    EXPECT_EQ(count_connected_subsets(g, 5, full_mask(4)), 0u);
+    // Singletons: every allowed node.
+    EXPECT_EQ(count_connected_subsets(g, 1, full_mask(4)), 4u);
+    // The full mesh itself.
+    EXPECT_EQ(count_connected_subsets(g, 4, full_mask(4)), 1u);
+}
+
+TEST(SampleTest, SamplesAreConnectedAndCorrectSize)
+{
+    Graph g = Graph::mesh(5, 5);
+    Rng rng(99);
+    auto samples = sample_connected_subsets(g, 9, full_mask(25), 64, rng);
+    EXPECT_FALSE(samples.empty());
+    for (NodeMask m : samples) {
+        EXPECT_EQ(__builtin_popcountll(m), 9);
+        EXPECT_TRUE(g.is_connected_subset(m));
+    }
+    // Deduplicated and sorted.
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_LT(samples[i - 1], samples[i]);
+}
+
+TEST(SampleTest, DeterministicForSameSeed)
+{
+    Graph g = Graph::mesh(5, 5);
+    Rng r1(5), r2(5);
+    auto a = sample_connected_subsets(g, 6, full_mask(25), 32, r1);
+    auto b = sample_connected_subsets(g, 6, full_mask(25), 32, r2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(BinomialTest, SmallValuesAndSaturation)
+{
+    EXPECT_EQ(binomial(5, 2), 10u);
+    EXPECT_EQ(binomial(25, 9), 2042975u);
+    EXPECT_EQ(binomial(10, 0), 1u);
+    EXPECT_EQ(binomial(10, 11), 0u);
+    EXPECT_EQ(binomial(300, 150), UINT64_MAX); // saturates
+}
+
+} // namespace
+} // namespace vnpu::graph

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace vnpu {
+namespace {
+
+TEST(EventQueueTest, StartsAtTickZeroWithNoEvents)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTickEventsRunInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, EventsMayScheduleFurtherEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule_in(4, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueueTest, RunHonorsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, [] {}), SimPanic);
+}
+
+TEST(EventQueueTest, ClearDropsPendingEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.clear();
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, StepExecutesExactlyOneEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 1u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, ManyInterleavedEventsStaysDeterministic)
+{
+    // Two runs of the same schedule produce identical traces.
+    auto run_once = [] {
+        EventQueue eq;
+        std::vector<std::pair<Tick, int>> trace;
+        for (int i = 0; i < 200; ++i) {
+            Tick when = static_cast<Tick>((i * 37) % 50);
+            eq.schedule(when, [&trace, i, &eq] {
+                trace.emplace_back(eq.now(), i);
+            });
+        }
+        eq.run();
+        return trace;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace vnpu

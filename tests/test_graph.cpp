@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit and property tests for the bitmask graph library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph.h"
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace vnpu::graph {
+namespace {
+
+TEST(GraphTest, MeshStructure)
+{
+    Graph g = Graph::mesh(3, 2);
+    EXPECT_EQ(g.num_nodes(), 6);
+    // Grid edges: 2 rows x 2 horizontal + 3 vertical = 7.
+    EXPECT_EQ(g.num_edges(), 7);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(0, 3));
+    EXPECT_FALSE(g.has_edge(0, 4));
+    EXPECT_TRUE(g.is_connected());
+    // Corner degree 2, edge-center degree 3.
+    EXPECT_EQ(g.degree(0), 2);
+    EXPECT_EQ(g.degree(1), 3);
+}
+
+TEST(GraphTest, ChainAndRing)
+{
+    Graph c = Graph::chain(5);
+    EXPECT_EQ(c.num_edges(), 4);
+    EXPECT_TRUE(c.is_connected());
+    Graph r = Graph::ring(5);
+    EXPECT_EQ(r.num_edges(), 5);
+    EXPECT_TRUE(r.has_edge(4, 0));
+}
+
+TEST(GraphTest, TorusAddsWraparound)
+{
+    Graph t = Graph::torus(4, 3);
+    Graph m = Graph::mesh(4, 3);
+    EXPECT_GT(t.num_edges(), m.num_edges());
+    EXPECT_TRUE(t.has_edge(0, 3));  // row wrap
+    EXPECT_TRUE(t.has_edge(0, 8));  // column wrap
+}
+
+TEST(GraphTest, AddRemoveEdgeIdempotent)
+{
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 1);
+    EXPECT_EQ(g.num_edges(), 1);
+    g.remove_edge(0, 1);
+    g.remove_edge(0, 1);
+    EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, ConnectivityDetectsSplit)
+{
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    EXPECT_FALSE(g.is_connected());
+    g.add_edge(1, 2);
+    EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GraphTest, ConnectedSubsetQueries)
+{
+    Graph g = Graph::mesh(3, 3);
+    // L-shaped region 0-1-2-5 is connected.
+    NodeMask l_shape = 0b100111;
+    EXPECT_TRUE(g.is_connected_subset(l_shape));
+    // Two opposite corners are not.
+    NodeMask corners = (NodeMask{1} << 0) | (NodeMask{1} << 8);
+    EXPECT_FALSE(g.is_connected_subset(corners));
+    EXPECT_TRUE(g.is_connected_subset(0)); // empty set trivially connected
+}
+
+TEST(GraphTest, InducedSubgraphKeepsEdgesAndLabels)
+{
+    Graph g = Graph::mesh(3, 3);
+    g.set_label(4, 7);
+    Graph sub = g.induced({3, 4, 5});
+    EXPECT_EQ(sub.num_nodes(), 3);
+    EXPECT_EQ(sub.num_edges(), 2);
+    EXPECT_TRUE(sub.has_edge(0, 1));
+    EXPECT_TRUE(sub.has_edge(1, 2));
+    EXPECT_EQ(sub.label(1), 7);
+}
+
+TEST(GraphTest, MaskToNodesAscending)
+{
+    auto nodes = Graph::mask_to_nodes(0b101001);
+    EXPECT_EQ(nodes, (std::vector<int>{0, 3, 5}));
+}
+
+TEST(GraphTest, EdgesListMatchesHasEdge)
+{
+    Graph g = Graph::mesh(4, 4);
+    auto es = g.edges();
+    EXPECT_EQ(static_cast<int>(es.size()), g.num_edges());
+    for (auto [a, b] : es) {
+        EXPECT_LT(a, b);
+        EXPECT_TRUE(g.has_edge(a, b));
+    }
+}
+
+TEST(GraphTest, RejectsOversizedGraph)
+{
+    EXPECT_THROW(Graph(65), SimFatal);
+    EXPECT_THROW(Graph(-1), SimFatal);
+}
+
+// ---- WL hash: isomorphism invariance (property test) ----------------
+
+/** Apply a node permutation to a graph. */
+Graph
+permuted(const Graph& g, const std::vector<int>& perm)
+{
+    Graph out(g.num_nodes());
+    for (int v = 0; v < g.num_nodes(); ++v)
+        out.set_label(perm[v], g.label(v));
+    for (auto [a, b] : g.edges())
+        out.add_edge(perm[a], perm[b]);
+    return out;
+}
+
+Graph
+random_graph(int n, double p, Rng& rng)
+{
+    Graph g(n);
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            if (rng.next_double() < p)
+                g.add_edge(a, b);
+    return g;
+}
+
+TEST(GraphHashProperty, InvariantUnderPermutation)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        int n = 3 + static_cast<int>(rng.next_below(10));
+        Graph g = random_graph(n, 0.4, rng);
+        g.set_label(0, 3); // exercise label-awareness too
+
+        std::vector<int> perm(n);
+        for (int i = 0; i < n; ++i)
+            perm[i] = i;
+        for (int i = n - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.next_below(i + 1)]);
+
+        EXPECT_EQ(g.wl_hash(), permuted(g, perm).wl_hash())
+            << "trial " << trial;
+    }
+}
+
+TEST(GraphHashProperty, DistinguishesStructures)
+{
+    // Chain vs ring vs star of the same size should hash differently.
+    Graph chain = Graph::chain(6);
+    Graph ring = Graph::ring(6);
+    Graph star(6);
+    for (int i = 1; i < 6; ++i)
+        star.add_edge(0, i);
+    std::set<std::uint64_t> hashes{chain.wl_hash(), ring.wl_hash(),
+                                   star.wl_hash()};
+    EXPECT_EQ(hashes.size(), 3u);
+}
+
+TEST(GraphHashProperty, LabelChangesHash)
+{
+    Graph a = Graph::mesh(2, 2);
+    Graph b = Graph::mesh(2, 2);
+    b.set_label(0, 1);
+    EXPECT_NE(a.wl_hash(), b.wl_hash());
+}
+
+} // namespace
+} // namespace vnpu::graph

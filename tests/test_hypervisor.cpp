@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the hypervisor (vNPU lifecycle) and the MIG baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hyp/hypervisor.h"
+#include "hyp/mig.h"
+#include "runtime/machine.h"
+#include "sim/log.h"
+
+namespace vnpu::hyp {
+namespace {
+
+using runtime::Machine;
+
+SocConfig
+sim_cfg()
+{
+    return SocConfig::Sim(); // 6x6
+}
+
+TEST(HypervisorTest, CreatesVnpuWithAllResources)
+{
+    Machine m(sim_cfg());
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+
+    VnpuSpec spec;
+    spec.num_cores = 6;
+    spec.memory_bytes = 64ull << 20;
+    virt::VirtualNpu& v = hv.create(spec);
+
+    EXPECT_EQ(v.num_cores(), 6);
+    EXPECT_TRUE(v.has_memory());
+    EXPECT_GE(v.memory_bytes(), 64ull << 20);
+    EXPECT_TRUE(v.isolated());
+    EXPECT_GT(v.interfaces(), 0);
+    EXPECT_GT(v.bandwidth_cap(), 0.0);
+    EXPECT_GT(hv.last_setup_cost(), 0u);
+    EXPECT_EQ(hv.num_free_cores(), 30);
+    EXPECT_TRUE(hv.inst_vrouter().has_vm(v.vm()));
+    // Routing table agrees with the core list.
+    for (int i = 0; i < v.num_cores(); ++i)
+        EXPECT_EQ(v.routing_table().lookup(i), v.cores()[i]);
+}
+
+TEST(HypervisorTest, RectangularRegionsGetCompactTables)
+{
+    Machine m(sim_cfg());
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    VnpuSpec spec;
+    spec.topo = graph::Graph::mesh(3, 2);
+    virt::VirtualNpu& v = hv.create(spec);
+    // A 3x2 request on an empty mesh maps exactly -> compact form.
+    EXPECT_EQ(v.mapping_ted(), 0.0);
+    EXPECT_EQ(v.routing_table().type(), virt::RtType::kMesh2D);
+    EXPECT_EQ(v.routing_table().num_entries(), 1);
+}
+
+TEST(HypervisorTest, DestroyReleasesEverything)
+{
+    Machine m(sim_cfg());
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    VnpuSpec spec;
+    spec.num_cores = 9;
+    spec.memory_bytes = 32ull << 20;
+    virt::VirtualNpu& v = hv.create(spec);
+    VmId vm = v.vm();
+    EXPECT_EQ(hv.num_free_cores(), 27);
+    hv.destroy(vm);
+    EXPECT_EQ(hv.num_free_cores(), 36);
+    EXPECT_EQ(hv.find(vm), nullptr);
+    EXPECT_FALSE(hv.inst_vrouter().has_vm(vm));
+    EXPECT_THROW(hv.destroy(vm), SimFatal);
+}
+
+TEST(HypervisorTest, MultiTenantAllocationsAreDisjoint)
+{
+    Machine m(sim_cfg());
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    VnpuSpec spec;
+    spec.num_cores = 12;
+    spec.memory_bytes = 16ull << 20;
+    virt::VirtualNpu& a = hv.create(spec);
+    virt::VirtualNpu& b = hv.create(spec);
+    EXPECT_EQ(a.mask() & b.mask(), 0u);
+    EXPECT_NE(a.vm(), b.vm());
+    EXPECT_EQ(hv.num_free_cores(), 12);
+    EXPECT_NEAR(hv.core_utilization(), 24.0 / 36.0, 1e-9);
+    // Disjoint physical memory too.
+    std::set<Addr> pas;
+    for (std::size_t i = 0; i < a.range_table().size(); ++i)
+        pas.insert(a.range_table().entry(i).pa);
+    for (std::size_t i = 0; i < b.range_table().size(); ++i)
+        EXPECT_EQ(pas.count(b.range_table().entry(i).pa), 0u);
+}
+
+TEST(HypervisorTest, FailsWhenOutOfCores)
+{
+    Machine m(sim_cfg());
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    VnpuSpec spec;
+    spec.num_cores = 30;
+    hv.create(spec);
+    VnpuSpec spec2;
+    spec2.num_cores = 12;
+    EXPECT_THROW(hv.create(spec2), SimFatal);
+    EXPECT_EQ(hv.stats().allocation_failures.value(), 1u);
+}
+
+TEST(HypervisorTest, BestEffortUsesLeftoverCores)
+{
+    // The lock-in scenario of §4.3: after one 3x3 exact allocation on
+    // 5x5, a second 3x3 succeeds with a similar topology.
+    SocConfig cfg = sim_cfg();
+    cfg.mesh_x = 5;
+    cfg.mesh_y = 5;
+    Machine m(cfg);
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    VnpuSpec spec;
+    spec.topo = graph::Graph::mesh(3, 3);
+    spec.strategy = MappingStrategy::kExact;
+    hv.create(spec);
+    spec.strategy = MappingStrategy::kSimilarTopology;
+    virt::VirtualNpu& second = hv.create(spec);
+    EXPECT_GT(second.mapping_ted(), 0.0);
+    EXPECT_EQ(hv.num_free_cores(), 7);
+}
+
+TEST(HypervisorTest, ConfinedRoutesStayInRegion)
+{
+    Machine m(sim_cfg());
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    VnpuSpec spec;
+    spec.num_cores = 7; // irregular shape likely
+    virt::VirtualNpu& v = hv.create(spec);
+    ASSERT_TRUE(v.isolated());
+    // Every pair routes inside the region.
+    for (CoreId a : v.cores()) {
+        for (CoreId b : v.cores()) {
+            if (a == b)
+                continue;
+            int cur = a;
+            int guard = 0;
+            while (cur != b) {
+                cur = v.confined_routes()->next_hop(cur, b);
+                ASSERT_NE(cur, kInvalidCore);
+                EXPECT_TRUE(v.mask() & core_bit(cur));
+                ASSERT_LT(++guard, 64);
+            }
+        }
+    }
+}
+
+TEST(HypervisorTest, MemoryRoundTripThroughBuddy)
+{
+    Machine m(sim_cfg());
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    VnpuSpec spec;
+    spec.num_cores = 4;
+    spec.memory_bytes = 100ull << 20; // not a power of two
+    virt::VirtualNpu& v = hv.create(spec);
+    // Mapped memory covers the request with contiguous VAs.
+    EXPECT_GE(v.memory_bytes(), 100ull << 20);
+    const mem::RangeTable& rtt = v.range_table();
+    for (std::size_t i = 1; i < rtt.size(); ++i) {
+        EXPECT_EQ(rtt.entry(i).va,
+                  rtt.entry(i - 1).va + rtt.entry(i - 1).size);
+    }
+    VmId vm = v.vm();
+    hv.destroy(vm);
+    // All HBM is reusable afterwards.
+    VnpuSpec big;
+    big.num_cores = 4;
+    big.memory_bytes = 1ull << 30;
+    EXPECT_NO_THROW(hv.create(big));
+}
+
+// ---- MIG baseline ------------------------------------------------------------
+
+TEST(MigTest, DefaultHalvesAndExactFit)
+{
+    Machine m(sim_cfg());
+    MigPartitioner mig(m.config(), m.topology(), m.controller());
+    ASSERT_EQ(mig.partitions().size(), 2u);
+    EXPECT_EQ(mig.partitions()[0].num_cores(), 18);
+    EXPECT_EQ(mig.partitions()[1].num_cores(), 18);
+
+    virt::VirtualNpu& v = mig.create(12, 1 << 20);
+    EXPECT_EQ(v.num_cores(), 12);
+    EXPECT_EQ(v.tdm_factor(), 1);
+    // 12 distinct physical cores out of the 18-core partition.
+    EXPECT_EQ(mask_count(v.mask()), 12);
+    EXPECT_EQ(mig.wasted_cores(), 6);
+}
+
+TEST(MigTest, OversizedRequestUsesTdm)
+{
+    Machine m(sim_cfg());
+    MigPartitioner mig(m.config(), m.topology(), m.controller());
+    virt::VirtualNpu& v = mig.create(24, 1 << 20);
+    EXPECT_EQ(v.num_cores(), 24);
+    EXPECT_EQ(v.tdm_factor(), 2);
+    EXPECT_EQ(mask_count(v.mask()), 18); // all partition cores, doubled up
+}
+
+TEST(MigTest, PartitionExhaustion)
+{
+    Machine m(sim_cfg());
+    MigPartitioner mig(m.config(), m.topology(), m.controller());
+    mig.create(12, 0);
+    mig.create(12, 0);
+    EXPECT_THROW(mig.create(4, 0), SimFatal);
+}
+
+TEST(MigTest, DestroyFreesPartition)
+{
+    Machine m(sim_cfg());
+    MigPartitioner mig(m.config(), m.topology(), m.controller());
+    virt::VirtualNpu& v = mig.create(12, 1 << 20);
+    VmId vm = v.vm();
+    mig.destroy(vm);
+    EXPECT_NO_THROW(mig.create(18, 0));
+    EXPECT_NO_THROW(mig.create(18, 0));
+}
+
+TEST(MigTest, CustomPartitions)
+{
+    Machine m(SocConfig::Sim48()); // 8x6
+    MigPartitioner mig(m.config(), m.topology(), m.controller());
+    EXPECT_EQ(mig.partitions()[0].num_cores(), 24);
+    std::vector<MigPartition> parts{{0, 0, 2, 6}, {2, 0, 6, 6}};
+    mig.set_partitions(parts);
+    virt::VirtualNpu& v = mig.create(10, 0);
+    EXPECT_EQ(mask_count(v.mask()), 10);
+    // Out-of-bounds partitions rejected.
+    EXPECT_THROW(mig.set_partitions({{7, 0, 2, 6}}), SimFatal);
+}
+
+} // namespace
+} // namespace vnpu::hyp

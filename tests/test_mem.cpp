@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the memory substrate: DRAM channels, buddy allocator,
+ * scratchpad zones, and the DMA engine (translation stalls, caps,
+ * tracing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/buddy_allocator.h"
+#include "mem/dma.h"
+#include "mem/dram.h"
+#include "mem/scratchpad.h"
+#include "mem/trace.h"
+#include "sim/config.h"
+#include "sim/log.h"
+
+namespace vnpu::mem {
+namespace {
+
+SocConfig
+fpga()
+{
+    return SocConfig::Fpga(); // 16 B/cyc HBM over 2 channels = 8 B/cyc/ch
+}
+
+// ---- DRAM -----------------------------------------------------------------
+
+TEST(DramTest, TransferTimeMatchesChannelRate)
+{
+    SocConfig cfg = fpga();
+    DramModel dram(cfg);
+    EXPECT_EQ(dram.num_channels(), 2);
+    EXPECT_DOUBLE_EQ(dram.channel_rate(), 8.0);
+    // 800 bytes at 8 B/cyc = 100 cycles.
+    EXPECT_EQ(dram.transfer(0, 0, 800, 1), 100u);
+}
+
+TEST(DramTest, SameChannelContends)
+{
+    DramModel dram(fpga());
+    Tick a = dram.transfer(0, 0, 800, 1);
+    Tick b = dram.transfer(0, 0, 800, 2);
+    EXPECT_EQ(b, a + 100);
+}
+
+TEST(DramTest, DifferentChannelsRunInParallel)
+{
+    DramModel dram(fpga());
+    Tick a = dram.transfer(0, 0, 800, 1);
+    Tick b = dram.transfer(0, 1, 800, 2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(DramTest, PerVmByteAccounting)
+{
+    DramModel dram(fpga());
+    dram.transfer(0, 0, 100, 1);
+    dram.transfer(0, 0, 200, 2);
+    dram.transfer(0, 1, 50, 1);
+    EXPECT_EQ(dram.bytes_of_vm(1), 150u);
+    EXPECT_EQ(dram.bytes_of_vm(2), 200u);
+    EXPECT_EQ(dram.bytes_of_vm(9), 0u);
+    EXPECT_EQ(dram.total_bytes(), 350u);
+}
+
+// ---- Buddy allocator ---------------------------------------------------------
+
+TEST(BuddyTest, AllocatesPowerOfTwoBlocks)
+{
+    BuddyAllocator b(0, 1 << 20, 4096);
+    auto a = b.alloc(5000);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(b.block_size(*a), 8192u); // rounded up
+    EXPECT_EQ(b.used_bytes(), 8192u);
+}
+
+TEST(BuddyTest, SplitsAndCoalesces)
+{
+    BuddyAllocator b(0, 64 * 1024, 4096);
+    auto a1 = b.alloc(4096);
+    auto a2 = b.alloc(4096);
+    ASSERT_TRUE(a1 && a2);
+    EXPECT_NE(*a1, *a2);
+    b.free(*a1);
+    b.free(*a2);
+    EXPECT_EQ(b.free_bytes(), 64u * 1024u);
+    // After full coalescing a max-size block is available again.
+    auto big = b.alloc(64 * 1024);
+    EXPECT_TRUE(big.has_value());
+}
+
+TEST(BuddyTest, ExhaustionReturnsNullopt)
+{
+    BuddyAllocator b(0, 16 * 1024, 4096);
+    EXPECT_TRUE(b.alloc(16 * 1024).has_value());
+    EXPECT_FALSE(b.alloc(4096).has_value());
+    EXPECT_FALSE(b.alloc(0).has_value());
+    EXPECT_FALSE(b.alloc(32 * 1024).has_value());
+}
+
+TEST(BuddyTest, BaseOffsetRespected)
+{
+    BuddyAllocator b(0x1000000, 64 * 1024, 4096);
+    auto a = b.alloc(4096);
+    ASSERT_TRUE(a);
+    EXPECT_GE(*a, 0x1000000u);
+    b.free(*a);
+}
+
+TEST(BuddyTest, DoubleFreeIsFatal)
+{
+    BuddyAllocator b(0, 64 * 1024, 4096);
+    auto a = b.alloc(4096);
+    b.free(*a);
+    EXPECT_THROW(b.free(*a), SimFatal);
+}
+
+TEST(BuddyTest, ManyAllocFreeCyclesStayConsistent)
+{
+    BuddyAllocator b(0, 1 << 20, 4096);
+    std::vector<Addr> live;
+    for (int round = 0; round < 50; ++round) {
+        auto a = b.alloc(4096 << (round % 4));
+        ASSERT_TRUE(a);
+        live.push_back(*a);
+        if (round % 3 == 2) {
+            b.free(live.front());
+            live.erase(live.begin());
+        }
+    }
+    for (Addr a : live)
+        b.free(a);
+    EXPECT_EQ(b.free_bytes(), 1u << 20);
+    EXPECT_EQ(b.live_blocks(), 0u);
+}
+
+// ---- Scratchpad -------------------------------------------------------------
+
+TEST(ScratchpadTest, ZoneAccounting)
+{
+    Scratchpad sp(512 * 1024, 16 * 1024);
+    EXPECT_EQ(sp.weight_zone_capacity(), 496u * 1024u);
+    std::uint64_t off = sp.alloc_weight("w0", 100 * 1024);
+    EXPECT_EQ(off, 0u);
+    EXPECT_EQ(sp.alloc_weight("w1", 100 * 1024), 100u * 1024u);
+    EXPECT_EQ(sp.weight_used(), 200u * 1024u);
+    sp.release_weights();
+    EXPECT_EQ(sp.weight_used(), 0u);
+}
+
+TEST(ScratchpadTest, OverflowIsFatal)
+{
+    Scratchpad sp(64 * 1024, 16 * 1024);
+    EXPECT_TRUE(sp.weight_fits(48 * 1024));
+    EXPECT_FALSE(sp.weight_fits(48 * 1024 + 1));
+    EXPECT_THROW(sp.alloc_weight("big", 49 * 1024), SimFatal);
+}
+
+TEST(ScratchpadTest, MetaZoneEnforced)
+{
+    Scratchpad sp(64 * 1024, 8 * 1024);
+    sp.set_meta_usage(8 * 1024);
+    EXPECT_EQ(sp.meta_used(), 8u * 1024u);
+    EXPECT_THROW(sp.set_meta_usage(8 * 1024 + 1), SimFatal);
+    EXPECT_THROW(Scratchpad(1024, 1024), SimFatal);
+}
+
+// ---- DMA ---------------------------------------------------------------------
+
+TEST(DmaTest, IdentityTransferUsesChannelBandwidth)
+{
+    SocConfig cfg = fpga();
+    DramModel dram(cfg);
+    DmaEngine dma(cfg, dram, 0, 0);
+    // 8 KiB at 8 B/cyc = 1024 cycles, no translation stall.
+    Tick done = dma.load(0, 0x1000, 8192, 1);
+    EXPECT_EQ(done, 1024u);
+    EXPECT_EQ(dma.stats().translation_stall.value(), 0u);
+    EXPECT_EQ(dma.stats().bytes.value(), 8192u);
+}
+
+TEST(DmaTest, BandwidthCapThrottles)
+{
+    SocConfig cfg = fpga();
+    DramModel dram(cfg);
+    DmaEngine dma(cfg, dram, 0, 0);
+    dma.set_bandwidth_cap(2.0); // 2 B/cyc, a quarter of the channel
+    Tick done = dma.load(0, 0x1000, 8192, 1);
+    EXPECT_EQ(done, 4096u);
+    EXPECT_GT(dma.stats().throttle_stall.value(), 0u);
+}
+
+TEST(DmaTest, TraceRecordsAccesses)
+{
+    SocConfig cfg = fpga();
+    DramModel dram(cfg);
+    MemTraceRecorder trace;
+    DmaEngine dma(cfg, dram, 0, 7);
+    dma.set_trace(&trace);
+    dma.set_iteration(0);
+    dma.load(0, 0x1000, 4096, 1);
+    dma.set_iteration(1);
+    dma.load(2000, 0x1000, 4096, 1);
+    ASSERT_EQ(trace.records().size(), 2u);
+    EXPECT_EQ(trace.records()[0].core, 7);
+    EXPECT_EQ(trace.records()[0].iteration, 0u);
+    EXPECT_EQ(trace.records()[1].iteration, 1u);
+    EXPECT_TRUE(trace.monotonic_within_iterations());
+    EXPECT_TRUE(trace.repeating_across_iterations());
+}
+
+TEST(TraceTest, DetectsNonMonotonicAndNonRepeating)
+{
+    MemTraceRecorder t;
+    t.record(0, 0, 0x2000, 64, 0);
+    t.record(0, 0, 0x1000, 64, 10);
+    EXPECT_FALSE(t.monotonic_within_iterations());
+
+    MemTraceRecorder u;
+    u.record(0, 0, 0x1000, 64, 0);
+    u.record(0, 1, 0x3000, 64, 10);
+    EXPECT_FALSE(u.repeating_across_iterations());
+}
+
+} // namespace
+} // namespace vnpu::mem

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the packet-level NoC: routing, pipelining, contention,
+ * confined routes and interference accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/network.h"
+#include "sim/config.h"
+#include "sim/event_queue.h"
+
+namespace vnpu::noc {
+namespace {
+
+struct NetFixture : public ::testing::Test {
+    NetFixture()
+        : cfg(make_cfg()), topo(cfg.mesh_x, cfg.mesh_y), net(cfg, topo, eq)
+    {
+    }
+
+    static SocConfig
+    make_cfg()
+    {
+        SocConfig c = SocConfig::Fpga();
+        c.mesh_x = 4;
+        c.mesh_y = 4;
+        return c;
+    }
+
+    SocConfig cfg;
+    EventQueue eq;
+    MeshTopology topo;
+    Network net;
+};
+
+TEST_F(NetFixture, RoutePathFollowsXy)
+{
+    EXPECT_EQ(net.route_path(0, 15),
+              (std::vector<int>{0, 1, 2, 3, 7, 11, 15}));
+    EXPECT_EQ(net.route_path(5, 6), (std::vector<int>{5, 6}));
+}
+
+TEST_F(NetFixture, SingleMessageTiming)
+{
+    // One 2048-byte packet over one hop:
+    // handshake(20) + router(2) + 2048/16 = 128 -> done at 150.
+    SendResult r = net.send(0, 0, 1, 2048, kNoVm, 0);
+    EXPECT_EQ(r.hops, 1);
+    EXPECT_EQ(r.delivered, 20u + 2u + 128u);
+    // The sender frees once the packet leaves the first (only) link.
+    EXPECT_EQ(r.sender_free, r.delivered);
+}
+
+TEST_F(NetFixture, RelayStoreAndForwardChargesPerHop)
+{
+    // Default relay mode (Figure 5): every hop re-serializes the whole
+    // message, so a 3-hop transfer costs ~3x the 1-hop transfer.
+    SendResult near = net.send(0, 0, 1, 4096, kNoVm, 0);
+    EXPECT_EQ(near.delivered, 20u + 2u + 256u);
+    net.reset();
+    SendResult far = net.send(0, 0, 3, 4096, kNoVm, 0);
+    EXPECT_EQ(far.delivered, 20u + 3u * (2u + 256u));
+}
+
+TEST_F(NetFixture, WormholeModePipelinesPackets)
+{
+    SocConfig wcfg = make_cfg();
+    wcfg.noc_relay_store_forward = false;
+    EventQueue weq;
+    Network wnet(wcfg, topo, weq);
+
+    // Two packets over one hop: the second serializes after the first.
+    SendResult two = wnet.send(0, 0, 1, 4096, kNoVm, 0);
+    EXPECT_EQ(two.delivered, 20u + 2u * (2 + 128));
+
+    // Over 3 hops, packets pipeline: doubling the payload adds only
+    // one link-time, not three.
+    wnet.reset();
+    SendResult far1 = wnet.send(0, 0, 3, 2048, kNoVm, 0);
+    wnet.reset();
+    SendResult far2 = wnet.send(0, 0, 3, 4096, kNoVm, 0);
+    EXPECT_EQ(far2.delivered - far1.delivered, 130u);
+}
+
+TEST_F(NetFixture, DeliveryCallbackFiresAtArrival)
+{
+    Tick delivered_at = 0;
+    int got_tag = -1;
+    net.set_deliver_callback([&](int dst, int src, std::uint64_t bytes,
+                                 int tag, VmId vm, bool credit) {
+        EXPECT_EQ(dst, 5);
+        EXPECT_EQ(src, 0);
+        EXPECT_EQ(bytes, 2048u);
+        EXPECT_EQ(vm, 3);
+        EXPECT_FALSE(credit);
+        got_tag = tag;
+        delivered_at = eq.now();
+    });
+    SendResult r = net.send(0, 0, 5, 2048, 3, 42);
+    eq.run();
+    EXPECT_EQ(got_tag, 42);
+    EXPECT_EQ(delivered_at, r.delivered);
+}
+
+TEST_F(NetFixture, LocalLoopbackSkipsLinks)
+{
+    SendResult r = net.send(100, 7, 7, 1 << 20, kNoVm, 0);
+    EXPECT_EQ(r.hops, 0);
+    EXPECT_EQ(r.delivered, 100u + cfg.noc_handshake_cycles);
+    EXPECT_EQ(net.stats().local_deliveries.value(), 1u);
+}
+
+TEST_F(NetFixture, ContentionSerializesSharedLink)
+{
+    // Two flows share link 0->1.
+    SendResult a = net.send(0, 0, 1, 2048, 1, 0);
+    SendResult b = net.send(0, 0, 1, 2048, 2, 1);
+    EXPECT_GT(b.delivered, a.delivered);
+    EXPECT_GE(b.delivered, a.delivered + 128);
+}
+
+TEST_F(NetFixture, DisjointFlowsDoNotContend)
+{
+    SendResult a = net.send(0, 0, 1, 2048, 1, 0);
+    SendResult b = net.send(0, 14, 15, 2048, 2, 1);
+    EXPECT_EQ(a.delivered, b.delivered);
+}
+
+TEST_F(NetFixture, InterferenceAccounting)
+{
+    // Default DOR: vm 1 and vm 2 share the 1->2 link.
+    net.send(0, 1, 2, 2048, 1, 0);
+    net.send(0, 1, 2, 2048, 2, 1);
+    EXPECT_EQ(net.interference_links(), 1);
+    net.reset();
+    EXPECT_EQ(net.interference_links(), 0);
+}
+
+TEST_F(NetFixture, ConfinedRoutingStaysInsideRegion)
+{
+    // L-shaped region: 0, 4, 8, 9, 10. XY routing 0->10 would go
+    // through 1, 2 (outside); the override must stay inside.
+    CoreMask region = core_bit(0) | core_bit(4) | core_bit(8) |
+                      core_bit(9) | core_bit(10);
+    RouteOverride ov = RouteOverride::build_confined(topo, region);
+    std::vector<int> path = net.route_path(0, 10, &ov);
+    EXPECT_EQ(path, (std::vector<int>{0, 4, 8, 9, 10}));
+    for (int node : path)
+        EXPECT_TRUE(region & core_bit(node)) << "node " << node;
+
+    // Without the override, XY leaves the region.
+    std::vector<int> dor = net.route_path(0, 10, nullptr);
+    bool leaves = false;
+    for (int node : dor)
+        if (!(region & core_bit(node)))
+            leaves = true;
+    EXPECT_TRUE(leaves);
+}
+
+TEST_F(NetFixture, ConfinedRoutingEliminatesInterference)
+{
+    // vm1 owns the left 2 columns, vm2 the right 2 columns.
+    CoreMask left = 0, right = 0;
+    for (int y = 0; y < 4; ++y) {
+        left |= core_bit(topo.id_of(0, y)) | core_bit(topo.id_of(1, y));
+        right |= core_bit(topo.id_of(2, y)) | core_bit(topo.id_of(3, y));
+    }
+    RouteOverride ov_l = RouteOverride::build_confined(topo, left);
+    RouteOverride ov_r = RouteOverride::build_confined(topo, right);
+    // Both VMs send column-spanning traffic within their own halves.
+    net.send(0, topo.id_of(0, 0), topo.id_of(1, 3), 8192, 1, 0, &ov_l);
+    net.send(0, topo.id_of(3, 0), topo.id_of(2, 3), 8192, 2, 1, &ov_r);
+    EXPECT_EQ(net.interference_links(), 0);
+    EXPECT_EQ(net.stats().confined_messages.value(), 2u);
+}
+
+TEST_F(NetFixture, OverrideRequiresConnectedRegion)
+{
+    CoreMask split = core_bit(0) | core_bit(15);
+    EXPECT_THROW(RouteOverride::build_confined(topo, split), SimFatal);
+}
+
+TEST_F(NetFixture, StatsCountMessagesAndBytes)
+{
+    net.send(0, 0, 1, 5000, kNoVm, 0);
+    EXPECT_EQ(net.stats().messages.value(), 1u);
+    EXPECT_EQ(net.stats().bytes.value(), 5000u);
+    EXPECT_EQ(net.stats().packets.value(), 3u); // ceil(5000/2048)
+}
+
+} // namespace
+} // namespace vnpu::noc

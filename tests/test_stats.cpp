@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for counters, distributions and stat sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace vnpu {
+namespace {
+
+TEST(CounterTest, AccumulatesAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(DistributionTest, TracksMinMeanMax)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    d.sample(10.0);
+    d.sample(20.0);
+    d.sample(30.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 30.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(DistributionTest, SingleSampleIsMinAndMax)
+{
+    Distribution d;
+    d.sample(-5.5);
+    EXPECT_DOUBLE_EQ(d.min(), -5.5);
+    EXPECT_DOUBLE_EQ(d.max(), -5.5);
+    EXPECT_DOUBLE_EQ(d.mean(), -5.5);
+}
+
+TEST(StatSetTest, SetAddGet)
+{
+    StatSet s;
+    EXPECT_FALSE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x", -1.0), -1.0);
+    s.set("x", 2.0);
+    s.add("x", 3.0);
+    s.add("y", 1.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 5.0);
+    EXPECT_DOUBLE_EQ(s.get("y"), 1.0);
+}
+
+TEST(StatSetTest, DumpIsSortedByName)
+{
+    StatSet s;
+    s.set("zeta", 1);
+    s.set("alpha", 2);
+    std::ostringstream os;
+    s.dump(os, "p.");
+    EXPECT_EQ(os.str(), "p.alpha = 2\np.zeta = 1\n");
+}
+
+TEST(LogTest, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("boom ", 1), SimPanic);
+    EXPECT_THROW(fatal("bad config ", 2), SimFatal);
+    try {
+        panic("value=", 42);
+    } catch (const SimPanic& e) {
+        EXPECT_NE(std::string(e.what()).find("value=42"), std::string::npos);
+    }
+}
+
+TEST(LogTest, AssertMacroFiresOnFalse)
+{
+    EXPECT_THROW(VNPU_ASSERT(1 == 2), SimPanic);
+    EXPECT_NO_THROW(VNPU_ASSERT(1 == 1));
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true;
+    bool any_diff_seed_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        auto va = a.next();
+        if (va != b.next())
+            all_equal = false;
+        if (va != c.next())
+            any_diff_seed_diff = true;
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(RngTest, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.next_below(17), 17u);
+        double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+} // namespace
+} // namespace vnpu

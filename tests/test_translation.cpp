@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for address translation: the page-TLB baseline and vChunk's
+ * range translation table (RTT_CUR / last_v walk behaviour, Figure 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_tlb.h"
+#include "mem/range_table.h"
+#include "sim/config.h"
+#include "sim/log.h"
+
+namespace vnpu::mem {
+namespace {
+
+SocConfig
+cfg4()
+{
+    return SocConfig::Fpga();
+}
+
+// ---- Page table / IOTLB -------------------------------------------------
+
+TEST(PageTableTest, MapAndLookup)
+{
+    PageTable pt(4096);
+    pt.map_range(0x10000, 0x800000, 0x4000, kPermRead | kPermWrite);
+    TranslationResult r = pt.lookup(0x10000, kPermRead);
+    EXPECT_FALSE(r.fault);
+    EXPECT_EQ(r.pa, 0x800000u);
+    // Interior address with page offset.
+    r = pt.lookup(0x11234, kPermRead);
+    EXPECT_EQ(r.pa, 0x801234u);
+    EXPECT_EQ(r.seg_bytes, 4096u - 0x234u);
+    // Unmapped.
+    EXPECT_TRUE(pt.lookup(0x20000, kPermRead).fault);
+    // Permission violation.
+    EXPECT_TRUE(pt.lookup(0x10000, kPermExec).fault);
+}
+
+TEST(PageTableTest, RejectsUnalignedRanges)
+{
+    PageTable pt(4096);
+    EXPECT_THROW(pt.map_range(0x100, 0x800000, 0x4000, kPermRead),
+                 SimFatal);
+}
+
+TEST(PageTlbTest, HitsAfterFirstTouch)
+{
+    SocConfig cfg = cfg4();
+    PageTable pt(cfg.page_bytes);
+    pt.map_range(0x10000, 0x800000, 1 << 20, kPermRead);
+    PageTlbTranslator tlb(cfg, pt, 4);
+
+    TranslationResult first = tlb.translate(0x10000, 64, kPermRead);
+    EXPECT_GT(first.stall, 0u);
+    TranslationResult second = tlb.translate(0x10040, 64, kPermRead);
+    EXPECT_EQ(second.stall, 0u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(PageTlbTest, LruEvictionThrashesOnWideWorkingSet)
+{
+    SocConfig cfg = cfg4();
+    PageTable pt(cfg.page_bytes);
+    pt.map_range(0x10000, 0x800000, 1 << 20, kPermRead);
+    PageTlbTranslator tlb(cfg, pt, 4);
+
+    // Touch 8 pages twice: with 4 entries everything misses both times.
+    for (int round = 0; round < 2; ++round)
+        for (int p = 0; p < 8; ++p)
+            tlb.translate(0x10000 + p * 4096, 64, kPermRead);
+    EXPECT_EQ(tlb.misses(), 16u);
+
+    // A 32-entry TLB holds the working set: second round all hits.
+    PageTlbTranslator big(cfg, pt, 32);
+    for (int round = 0; round < 2; ++round)
+        for (int p = 0; p < 8; ++p)
+            big.translate(0x10000 + p * 4096, 64, kPermRead);
+    EXPECT_EQ(big.misses(), 8u);
+    EXPECT_EQ(big.hits(), 8u);
+}
+
+TEST(PageTlbTest, LargerTlbHidesMoreWalkLatency)
+{
+    SocConfig cfg = cfg4();
+    PageTable pt(cfg.page_bytes);
+    pt.map_range(0x10000, 0x800000, 1 << 20, kPermRead);
+    PageTlbTranslator small(cfg, pt, 4);
+    PageTlbTranslator big(cfg, pt, 32);
+    Cycles s = small.translate(0x10000, 64, kPermRead).stall;
+    Cycles b = big.translate(0x10000, 64, kPermRead).stall;
+    EXPECT_GT(s, b); // deeper translation pipelining with 32 entries
+}
+
+// ---- Range table / vChunk ------------------------------------------------
+
+RangeTable
+three_ranges()
+{
+    RangeTable rtt;
+    rtt.add(0x10000, 0x2000000, 0x10000, kPermRead | kPermWrite); // 64 KiB
+    rtt.add(0x20000, 0x5000000, 0x10000, kPermRead);              // 64 KiB
+    rtt.add(0x60000, 0x6000000, 0x400, kPermRead);                // 1 KiB
+    rtt.finalize();
+    return rtt;
+}
+
+TEST(RangeTableTest, FindByBinarySearch)
+{
+    RangeTable rtt = three_ranges();
+    EXPECT_EQ(rtt.find(0x10000).value(), 0u);
+    EXPECT_EQ(rtt.find(0x1ffff).value(), 0u);
+    EXPECT_EQ(rtt.find(0x20000).value(), 1u);
+    EXPECT_EQ(rtt.find(0x60200).value(), 2u);
+    EXPECT_FALSE(rtt.find(0x30000).has_value()); // gap
+    EXPECT_FALSE(rtt.find(0x1).has_value());
+}
+
+TEST(RangeTableTest, OverlapIsFatal)
+{
+    RangeTable rtt;
+    rtt.add(0x10000, 0, 0x10000, kPermRead);
+    rtt.add(0x18000, 0, 0x10000, kPermRead);
+    EXPECT_THROW(rtt.finalize(), SimFatal);
+}
+
+TEST(RangeTableTest, FootprintIs144BitsPerEntry)
+{
+    RangeTable rtt = three_ranges();
+    EXPECT_EQ(rtt.footprint_bytes(), 3u * 18u);
+}
+
+TEST(RangeTlbTest, WholeRangeIsOneEntry)
+{
+    SocConfig cfg = cfg4();
+    RangeTable rtt = three_ranges();
+    RangeTlbTranslator tlb(cfg, rtt, 4);
+
+    // First touch misses (walk), then the whole 64 KiB range hits.
+    EXPECT_GT(tlb.translate(0x10000, 64, kPermRead).stall, 0u);
+    for (Addr a = 0x10040; a < 0x20000; a += 0x1000)
+        EXPECT_EQ(tlb.translate(a, 64, kPermRead).stall, 0u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(RangeTlbTest, SegmentEndsAtRangeBoundary)
+{
+    SocConfig cfg = cfg4();
+    RangeTable rtt = three_ranges();
+    RangeTlbTranslator tlb(cfg, rtt, 4);
+    TranslationResult r = tlb.translate(0x1ff00, 0x10000, kPermRead);
+    EXPECT_FALSE(r.fault);
+    EXPECT_EQ(r.seg_bytes, 0x100u); // clipped at the range end
+    EXPECT_EQ(r.pa, 0x2000000u + 0xff00u);
+}
+
+TEST(RangeTlbTest, PermissionsEnforced)
+{
+    SocConfig cfg = cfg4();
+    RangeTable rtt = three_ranges();
+    RangeTlbTranslator tlb(cfg, rtt, 4);
+    EXPECT_FALSE(tlb.translate(0x10000, 64, kPermWrite).fault);
+    EXPECT_TRUE(tlb.translate(0x20000, 64, kPermWrite).fault); // R only
+    EXPECT_TRUE(tlb.translate(0x40000, 64, kPermRead).fault);  // unmapped
+}
+
+TEST(RangeTlbTest, LastVShortcutsIterationWrap)
+{
+    SocConfig cfg = cfg4();
+    RangeTable rtt = three_ranges();
+    RangeTlbTranslator tlb(cfg, rtt, 1); // tiny TLB to force walks
+
+    auto one_iteration = [&] {
+        tlb.translate(0x10000, 64, kPermRead);
+        tlb.translate(0x20000, 64, kPermRead);
+        tlb.translate(0x60000, 64, kPermRead);
+    };
+
+    // Iterations 1-2 teach the forward transitions and the wrap from
+    // the last range back to the first (Pattern-3).
+    one_iteration();
+    one_iteration();
+    std::uint64_t fetched_before = tlb.entries_fetched();
+    std::uint64_t misses_before = tlb.misses();
+    std::uint64_t lastv_before = tlb.last_v_hits();
+
+    // Iteration 3: every miss resolves via last_v with exactly one
+    // meta-zone fetch.
+    one_iteration();
+    std::uint64_t fetched = tlb.entries_fetched() - fetched_before;
+    std::uint64_t misses = tlb.misses() - misses_before;
+    EXPECT_EQ(misses, 3u);
+    EXPECT_EQ(fetched, misses);
+    EXPECT_EQ(tlb.last_v_hits() - lastv_before, 3u);
+}
+
+TEST(RangeTlbTest, StallProportionalToFetches)
+{
+    SocConfig cfg = cfg4();
+    RangeTable rtt = three_ranges();
+    RangeTlbTranslator tlb(cfg, rtt, 4);
+    tlb.translate(0x10000, 64, kPermRead);
+    EXPECT_EQ(tlb.stall_cycles(),
+              tlb.entries_fetched() * cfg.rtt_fetch_cycles);
+}
+
+TEST(RangeTlbTest, TooManyEntriesRejected)
+{
+    RangeTable rtt;
+    for (int i = 0; i < 257; ++i)
+        rtt.add(0x10000 + i * 0x1000, i * 0x1000, 0x1000, kPermRead);
+    EXPECT_THROW(rtt.finalize(), SimFatal);
+}
+
+} // namespace
+} // namespace vnpu::mem

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the virtualization layer: routing tables, vRouters,
+ * vChunk, VirtualNpu invariants and the hardware-cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/topology.h"
+#include "sim/log.h"
+#include "virt/hw_cost.h"
+#include "virt/routing_table.h"
+#include "virt/virtual_npu.h"
+#include "virt/vchunk.h"
+#include "virt/vrouter.h"
+
+namespace vnpu::virt {
+namespace {
+
+SocConfig
+cfg()
+{
+    return SocConfig::Fpga();
+}
+
+// ---- Routing table -------------------------------------------------------
+
+TEST(RoutingTableTest, StandardLookup)
+{
+    RoutingTable rt = RoutingTable::standard(1, {4, 5, 8, 9});
+    EXPECT_EQ(rt.vm(), 1);
+    EXPECT_EQ(rt.type(), RtType::kStandard);
+    EXPECT_EQ(rt.num_cores(), 4);
+    EXPECT_EQ(rt.lookup(0), 4);
+    EXPECT_EQ(rt.lookup(3), 9);
+    EXPECT_EQ(rt.lookup(4), kInvalidCore);
+    EXPECT_EQ(rt.lookup(-1), kInvalidCore);
+    EXPECT_EQ(rt.num_entries(), 4);
+}
+
+TEST(RoutingTableTest, Mesh2dCompactLookup)
+{
+    // Figure 4: a 2x2 virtual mesh anchored at physical core 1 of a
+    // 3-wide mesh -> physical cores {1, 2, 4, 5}.
+    RoutingTable rt = RoutingTable::mesh2d(2, 2, 2, 1, 3);
+    EXPECT_EQ(rt.type(), RtType::kMesh2D);
+    EXPECT_EQ(rt.num_cores(), 4);
+    EXPECT_EQ(rt.lookup(0), 1);
+    EXPECT_EQ(rt.lookup(1), 2);
+    EXPECT_EQ(rt.lookup(2), 4);
+    EXPECT_EQ(rt.lookup(3), 5);
+    EXPECT_EQ(rt.num_entries(), 1); // one descriptor
+    EXPECT_EQ(rt.phys_cores(), (std::vector<CoreId>{1, 2, 4, 5}));
+}
+
+TEST(RoutingTableTest, CompactFormSavesStorage)
+{
+    RoutingTable compact = RoutingTable::mesh2d(1, 4, 4, 0, 6);
+    RoutingTable standard =
+        RoutingTable::standard(1, compact.phys_cores());
+    EXPECT_LT(compact.storage_bits(), standard.storage_bits());
+}
+
+TEST(RoutingTableTest, TdmDuplicatesAllowed)
+{
+    // MIG TDM: two virtual cores on one physical core.
+    RoutingTable rt = RoutingTable::standard(1, {4, 5, 4, 5});
+    EXPECT_EQ(rt.lookup(0), rt.lookup(2));
+}
+
+// ---- Instruction vRouter ----------------------------------------------------
+
+TEST(InstVRouterTest, DispatchTranslatesAndIsolates)
+{
+    SocConfig c = cfg();
+    noc::MeshTopology topo(c.mesh_x, c.mesh_y);
+    core::NpuController ctrl(c, topo);
+    ctrl.set_hyper_mode(true);
+    InstVRouter ivr(ctrl);
+    RoutingTable rt = RoutingTable::standard(7, {2, 3});
+    ivr.install(&rt);
+
+    auto d = ivr.dispatch(7, 0, core::DispatchVia::kIbus);
+    EXPECT_EQ(d.pcore, 2);
+    EXPECT_GT(d.cost, 0u);
+
+    // Out-of-range virtual core: isolation violation -> panic.
+    EXPECT_THROW(ivr.dispatch(7, 5, core::DispatchVia::kIbus), SimPanic);
+    // Unknown VM.
+    EXPECT_THROW(ivr.dispatch(9, 0, core::DispatchVia::kIbus), SimPanic);
+}
+
+TEST(InstVRouterTest, InstallRequiresHyperMode)
+{
+    SocConfig c = cfg();
+    noc::MeshTopology topo(c.mesh_x, c.mesh_y);
+    core::NpuController ctrl(c, topo);
+    InstVRouter ivr(ctrl);
+    RoutingTable rt = RoutingTable::standard(7, {2, 3});
+    EXPECT_THROW(ivr.install(&rt), SimPanic);
+    ctrl.set_hyper_mode(true);
+    ivr.install(&rt);
+    EXPECT_TRUE(ivr.has_vm(7));
+    ivr.remove(7);
+    EXPECT_FALSE(ivr.has_vm(7));
+}
+
+// ---- NoC vRouter -------------------------------------------------------------
+
+TEST(NocVRouterTest, TranslatesAndCachesPeers)
+{
+    SocConfig c = cfg();
+    RoutingTable rt = RoutingTable::standard(1, {4, 5, 6});
+    NocVRouter vr(c, rt, nullptr);
+    auto x1 = vr.translate_peer(1);
+    EXPECT_EQ(x1.phys, 5);
+    EXPECT_EQ(x1.cost, c.rt_lookup_cycles);
+    // Repeated translation of the same peer hits the cached entry.
+    auto x2 = vr.translate_peer(1);
+    EXPECT_EQ(x2.phys, 5);
+    EXPECT_EQ(x2.cost, c.rt_cached_cycles);
+    EXPECT_EQ(vr.cached_hits(), 1u);
+    // Out-of-topology peer is an isolation violation.
+    EXPECT_THROW(vr.translate_peer(3), SimPanic);
+}
+
+// ---- vChunk ---------------------------------------------------------------------
+
+TEST(VChunkTest, CoreLocalCopyHasPrivateState)
+{
+    SocConfig c = cfg();
+    mem::RangeTable shared;
+    shared.add(0x10000, 0x100000, 0x10000, mem::kPermRead);
+    shared.add(0x20000, 0x200000, 0x10000, mem::kPermRead);
+    shared.finalize();
+
+    VChunk a(c, shared, 4);
+    VChunk b(c, shared, 4);
+    // Accesses through one core must not disturb the other's walker
+    // state (each core's meta-zone holds a private RTT image).
+    a.translator()->translate(0x20000, 64, mem::kPermRead);
+    EXPECT_EQ(a.tlb().misses(), 1u);
+    EXPECT_EQ(b.tlb().misses(), 0u);
+    EXPECT_EQ(a.meta_footprint(), 2u * 18u);
+}
+
+TEST(VChunkTest, RequiresFinalizedTable)
+{
+    SocConfig c = cfg();
+    mem::RangeTable raw;
+    raw.add(0x10000, 0x100000, 0x10000, mem::kPermRead);
+    EXPECT_THROW(VChunk(c, raw, 4), SimFatal);
+}
+
+// ---- VirtualNpu ------------------------------------------------------------------
+
+TEST(VirtualNpuTest, InvariantsEnforced)
+{
+    graph::Graph topo = graph::Graph::chain(3);
+    RoutingTable rt = RoutingTable::standard(1, {4, 5, 6});
+    VirtualNpu v(1, {4, 5, 6}, topo, rt);
+    EXPECT_EQ(v.num_cores(), 3);
+    EXPECT_EQ(v.phys_of(2), 6);
+    EXPECT_EQ(v.mask(), core_bit(4) | core_bit(5) | core_bit(6));
+    EXPECT_THROW(v.phys_of(3), SimFatal);
+
+    // Mismatched routing table is rejected.
+    RoutingTable bad = RoutingTable::standard(1, {4, 5, 7});
+    EXPECT_THROW(VirtualNpu(1, {4, 5, 6}, topo, bad), SimFatal);
+    // Topology / core-count mismatch.
+    EXPECT_THROW(VirtualNpu(1, {4, 5}, topo, rt), SimFatal);
+}
+
+TEST(VirtualNpuTest, MemoryAttachment)
+{
+    graph::Graph topo = graph::Graph::chain(2);
+    RoutingTable rt = RoutingTable::standard(1, {0, 1});
+    VirtualNpu v(1, {0, 1}, topo, rt);
+    EXPECT_FALSE(v.has_memory());
+
+    mem::RangeTable rtt;
+    rtt.add(0x10000, 0, 1 << 20, mem::kPermRead);
+    rtt.finalize();
+    v.set_range_table(std::move(rtt));
+    EXPECT_TRUE(v.has_memory());
+    EXPECT_EQ(v.memory_bytes(), 1u << 20);
+}
+
+// ---- Hardware cost (Figure 19) -----------------------------------------------------
+
+TEST(HwCostTest, VnpuAdditionsAreSmallFractionOfBaseline)
+{
+    HwCost base_ctrl = baseline_controller_cost();
+    HwCost base_core = baseline_core_cost(16);
+
+    HwCost vnpu_ctrl = inst_vrouter_cost(128);
+    HwCost vnpu_core = noc_vrouter_cost();
+    vnpu_core += vchunk_cost(4);
+
+    HwOverhead ctrl_oh = overhead(base_ctrl, vnpu_ctrl);
+    HwOverhead core_oh = overhead(base_core, vnpu_core);
+    // Paper: ~2% additional LUTs/FFs.
+    EXPECT_LT(ctrl_oh.luts_pct, 10.0);
+    EXPECT_LT(core_oh.luts_pct, 5.0);
+    EXPECT_LT(core_oh.ffs_pct, 5.0);
+    EXPECT_GT(ctrl_oh.luts_pct, 0.0);
+}
+
+TEST(HwCostTest, RoutingTableNeedsAlmostNoLogic)
+{
+    // Paper: a 128-entry routing table requires minimal FF resources
+    // and near-zero LUTs relative to the controller.
+    HwCost rt = routing_table_cost(128);
+    HwCost base = baseline_controller_cost();
+    EXPECT_LT(rt.luts / base.luts, 0.01);
+    EXPECT_LT(rt.ffs / base.ffs, 0.05);
+}
+
+TEST(HwCostTest, VchunkComparableToUvmMmu)
+{
+    // Both designs add a similar, small amount of hardware (Fig. 19).
+    HwCost ours = vchunk_cost(4);
+    HwCost theirs = uvm_mmu_cost(32);
+    EXPECT_LT(ours.luts, theirs.luts * 2);
+    EXPECT_LT(theirs.luts, ours.luts * 10);
+}
+
+} // namespace
+} // namespace vnpu::virt

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the model zoo and the pipeline partitioner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/log.h"
+#include "workload/model_zoo.h"
+#include "workload/partitioner.h"
+
+namespace vnpu::workload {
+namespace {
+
+TEST(ModelZooTest, ParameterCountsMatchLiterature)
+{
+    // fp16 weight bytes = 2 * parameter count; compare against the
+    // well-known parameter counts with generous tolerance (we model
+    // conv/linear weights only).
+    auto params = [](const Model& m) {
+        return static_cast<double>(m.total_weight_bytes()) / kElemBytes;
+    };
+    EXPECT_NEAR(params(resnet18()), 11.7e6, 1.5e6);
+    EXPECT_NEAR(params(resnet34()), 21.8e6, 2.5e6);
+    EXPECT_NEAR(params(alexnet()), 61e6, 6e6);
+    EXPECT_NEAR(params(mobilenet()), 4.2e6, 1.0e6);
+    // GPT-2 decoder blocks: ~12 * dim^2 per block.
+    EXPECT_NEAR(params(gpt2(Gpt2Size::kSmall)), 12.0 * 12 * 768 * 768,
+                0.15 * 12.0 * 12 * 768 * 768);
+    EXPECT_NEAR(params(gpt2(Gpt2Size::kLarge)), 36.0 * 12 * 1280 * 1280,
+                0.15 * 36.0 * 12 * 1280 * 1280);
+}
+
+TEST(ModelZooTest, ResnetFlopsScale)
+{
+    // ResNet-34 ≈ 2x ResNet-18 FLOPs; batch scales linearly.
+    std::uint64_t f18 = resnet18().total_flops();
+    std::uint64_t f34 = resnet34().total_flops();
+    EXPECT_GT(f34, f18 * 3 / 2);
+    EXPECT_LT(f34, f18 * 3);
+    EXPECT_EQ(resnet18(4).total_flops(), 4 * f18);
+    // ~3.6 GFLOPs for ResNet-18 at batch 1 (2 * 1.8G MACs).
+    EXPECT_NEAR(static_cast<double>(f18), 3.6e9, 1.2e9);
+}
+
+TEST(ModelZooTest, AllModelsValidateAndAreNamed)
+{
+    for (const char* name :
+         {"alexnet", "resnet18", "resnet34", "resnet50", "googlenet",
+          "mobilenet", "yololite", "retinanet", "efficientnet", "gpt2-s",
+          "gpt2-m", "gpt2-l", "bert", "dlrm", "transformer"}) {
+        Model m = by_name(name);
+        EXPECT_EQ(m.name, name);
+        EXPECT_GT(m.total_flops(), 0u);
+        EXPECT_NO_THROW(m.validate());
+    }
+    EXPECT_THROW(by_name("nonexistent"), SimFatal);
+}
+
+TEST(ModelZooTest, MicroBlockNamesMatchPaperLabels)
+{
+    EXPECT_EQ(transformer_block(128, 16).name, "128dim_16slen");
+    EXPECT_EQ(resnet_block(16, 64).name, "16wh_64c");
+    EXPECT_EQ(resnet_block(20, 32).name, "20wh_32c");
+}
+
+TEST(ModelZooTest, DepthwiseConvHasReducedCost)
+{
+    Layer dw = Layer::conv("dw", 14, 14, 512, 512, 3, 1, true);
+    Layer full = Layer::conv("full", 14, 14, 512, 512, 3, 1, false);
+    EXPECT_LT(dw.flops(1) * 100, full.flops(1));
+    EXPECT_LT(dw.weight_bytes() * 100, full.weight_bytes());
+}
+
+TEST(LayerTest, LoweredKernelsMatchShapes)
+{
+    Layer c = Layer::conv("c", 32, 32, 16, 64, 3, 2);
+    core::ComputeDims d = c.lowered(2, 1.0);
+    EXPECT_EQ(d.kind, core::ComputeKind::kConv);
+    EXPECT_EQ(d.oh, 32); // 16 out rows * batch 2
+    EXPECT_EQ(d.cout, 64);
+    core::ComputeDims half = c.lowered(1, 0.5);
+    EXPECT_EQ(half.cout, 32);
+
+    Layer l = Layer::linear("l", 16, 768, 768);
+    core::ComputeDims ld = l.lowered(1, 0.25);
+    EXPECT_EQ(ld.m, 16);
+    EXPECT_EQ(ld.n, 192);
+}
+
+// ---- Partitioner -------------------------------------------------------------
+
+TEST(PartitionerTest, ProducesRequestedStageCount)
+{
+    for (int n : {1, 2, 4, 7, 12, 28}) {
+        Model m = resnet18();
+        PipelinePlan plan = make_pipeline_plan(m, n);
+        EXPECT_EQ(plan.num_stages, n);
+        // No stage is empty.
+        for (const Stage& s : plan.stages)
+            EXPECT_FALSE(s.slices.empty());
+    }
+}
+
+TEST(PartitionerTest, FlopsConserved)
+{
+    Model m = resnet34();
+    for (int n : {3, 9, 24}) {
+        PipelinePlan plan = make_pipeline_plan(m, n);
+        std::uint64_t sum = 0;
+        for (int s = 0; s < n; ++s)
+            sum += plan.stage_flops(m, s);
+        double ratio = static_cast<double>(sum) /
+                       static_cast<double>(m.total_flops());
+        EXPECT_NEAR(ratio, 1.0, 0.02) << "n=" << n;
+    }
+}
+
+TEST(PartitionerTest, WeightsConserved)
+{
+    Model m = gpt2(Gpt2Size::kSmall, 64);
+    PipelinePlan plan = make_pipeline_plan(m, 12);
+    std::uint64_t sum = 0;
+    for (int s = 0; s < 12; ++s)
+        sum += plan.stage_weight_bytes(m, s);
+    EXPECT_NEAR(static_cast<double>(sum),
+                static_cast<double>(m.total_weight_bytes()),
+                0.02 * m.total_weight_bytes());
+}
+
+TEST(PartitionerTest, BalanceImprovesWithSplitting)
+{
+    // More stages than layers exercises channel splitting.
+    Model m = transformer_block(128, 16);
+    int layers = static_cast<int>(m.layers.size());
+    PipelinePlan plan = make_pipeline_plan(m, layers + 4);
+    EXPECT_EQ(plan.num_stages, layers + 4);
+    double imb = plan.imbalance(m);
+    EXPECT_LT(imb, 6.0);
+}
+
+TEST(PartitionerTest, BalancedPipelineForGpt)
+{
+    // GPT blocks are uniform: balance should be tight.
+    Model m = gpt2(Gpt2Size::kSmall, 64);
+    PipelinePlan plan = make_pipeline_plan(m, 12);
+    EXPECT_LT(plan.imbalance(m), 1.6);
+}
+
+TEST(PartitionerTest, EdgesConnectCrossStageDataflow)
+{
+    Model m = resnet18();
+    PipelinePlan plan = make_pipeline_plan(m, 6);
+    EXPECT_FALSE(plan.edges.empty());
+    std::set<int> tags;
+    for (const CommEdge& e : plan.edges) {
+        EXPECT_GE(e.src_stage, 0);
+        EXPECT_LT(e.src_stage, 6);
+        EXPECT_GE(e.dst_stage, 0);
+        EXPECT_LT(e.dst_stage, 6);
+        EXPECT_NE(e.src_stage, e.dst_stage);
+        EXPECT_GT(e.bytes, 0u);
+        EXPECT_TRUE(tags.insert(e.tag).second) << "duplicate tag";
+    }
+}
+
+TEST(PartitionerTest, ResidualEdgesSkipStages)
+{
+    // ResNet skip connections should produce at least one edge whose
+    // stages are non-adjacent when the pipeline is deep enough.
+    Model m = resnet18();
+    PipelinePlan plan = make_pipeline_plan(m, 16);
+    bool has_skip = false;
+    for (const CommEdge& e : plan.edges)
+        if (e.dst_stage > e.src_stage + 1)
+            has_skip = true;
+    EXPECT_TRUE(has_skip);
+}
+
+TEST(PartitionerTest, SingleStageHasNoEdges)
+{
+    Model m = resnet18();
+    PipelinePlan plan = make_pipeline_plan(m, 1);
+    EXPECT_TRUE(plan.edges.empty());
+    EXPECT_EQ(plan.stage_flops(m, 0), m.total_flops());
+}
+
+} // namespace
+} // namespace vnpu::workload
