@@ -3,12 +3,25 @@
  * Google-benchmark micro-benchmarks of the performance-critical
  * simulator kernels: graph edit distance, connected-subset
  * enumeration, range-TLB translation, page-TLB translation, buddy
- * allocation, and NoC sends. These bound the wall-clock cost of the
- * figure harnesses (the hypervisor's mapper evaluates hundreds of
- * candidates per allocation).
+ * allocation, NoC sends and the event queue. These bound the
+ * wall-clock cost of the figure harnesses (the hypervisor's mapper
+ * evaluates hundreds of candidates per allocation).
+ *
+ * Besides the google-benchmark cases, main() self-times the fast-path
+ * kernels against the seed implementations (tests/reference/
+ * seed_models.h) and writes the comparison to BENCH_noc.json so the
+ * perf trajectory is tracked across PRs.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "graph/enumerate.h"
 #include "graph/ged.h"
@@ -18,6 +31,8 @@
 #include "mem/page_tlb.h"
 #include "mem/range_table.h"
 #include "noc/network.h"
+#include "reference/seed_models.h"
+#include "sim/event_queue.h"
 #include "sim/rng.h"
 
 using namespace vnpu;
@@ -124,6 +139,75 @@ BM_NocSend(benchmark::State& state)
 }
 BENCHMARK(BM_NocSend);
 
+/** Wormhole send at 1 / 64 / 4096 routing packets per message. */
+static void
+BM_NocSendPackets(benchmark::State& state)
+{
+    SocConfig cfg = SocConfig::Sim();
+    cfg.noc_relay_store_forward = false;
+    EventQueue eq;
+    noc::MeshTopology topo(cfg.mesh_x, cfg.mesh_y);
+    noc::Network net(cfg, topo, eq);
+    const std::uint64_t bytes =
+        cfg.packet_bytes * static_cast<std::uint64_t>(state.range(0));
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            net.send(t, 0, 35, bytes, 1, 0).delivered);
+        t += 10000;
+    }
+}
+BENCHMARK(BM_NocSendPackets)->Arg(1)->Arg(64)->Arg(4096);
+
+/**
+ * Sim-like event churn: thousands of in-flight events (a large mesh's
+ * cores and messages), each carrying a NoC-delivery-sized capture and
+ * scheduling a successor at a mixed near/far delay. This is the profile
+ * of every figure harness's inner loop.
+ */
+template <typename Queue>
+std::uint64_t
+event_queue_workload(Queue& eq, std::uint64_t target)
+{
+    struct Chainer {
+        Queue& eq;
+        std::uint64_t target;
+        std::uint64_t executed = 0;
+
+        void
+        fire(int lane, std::uint64_t a, std::uint64_t b, std::uint32_t tag)
+        {
+            if (++executed >= target)
+                return;
+            // Mix of same-tick, near and window-crossing delays.
+            static constexpr Cycles kDelays[] = {0, 1, 3, 17, 120, 900,
+                                                 5000};
+            Cycles d = kDelays[(executed + lane) % std::size(kDelays)];
+            // The capture mirrors a NoC delivery callback: a component
+            // pointer plus message fields (~40 bytes).
+            eq.schedule_in(d, [this, lane, a, b, tag] {
+                fire(lane, a + 1, b ^ a, tag + 1);
+            });
+        }
+    };
+    Chainer c{eq, target};
+    for (int i = 0; i < 4096; ++i)
+        eq.schedule(static_cast<Tick>(i * 37 % 1024),
+                    [&c, i] { c.fire(i, i, 2 * i, 0); });
+    eq.run();
+    return c.executed;
+}
+
+static void
+BM_EventQueueChurn(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        benchmark::DoNotOptimize(event_queue_workload(eq, 262144));
+    }
+}
+BENCHMARK(BM_EventQueueChurn);
+
 static void
 BM_MapperSimilar(benchmark::State& state)
 {
@@ -139,4 +223,132 @@ BM_MapperSimilar(benchmark::State& state)
 }
 BENCHMARK(BM_MapperSimilar)->Arg(9)->Arg(16);
 
-BENCHMARK_MAIN();
+// ---- Seed-vs-fast comparison, emitted as BENCH_noc.json --------------
+//
+// The acceptance bar for the fast-path rewrite: event-queue throughput
+// and the 4096-packet send must each be >= 3x over the seed kernels.
+// Timed here with plain steady_clock loops (best of kReps) so the JSON
+// is self-contained and does not depend on google-benchmark's output
+// format.
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+best_seconds_of(int reps, const std::function<void()>& body)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = Clock::now();
+        body();
+        auto t1 = Clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+constexpr std::uint64_t kQueueEvents = 1 << 18;
+
+struct CompareCase {
+    std::string name;
+    std::string metric;
+    double seed;
+    double fast;
+};
+
+std::vector<CompareCase>
+run_comparisons()
+{
+    std::vector<CompareCase> cases;
+    const int reps = 5;
+
+    // Event-queue throughput (events/sec, higher is better).
+    {
+        double seed_s = best_seconds_of(reps, [] {
+            seed::SeedEventQueue eq;
+            event_queue_workload(eq, kQueueEvents);
+        });
+        double fast_s = best_seconds_of(reps, [] {
+            EventQueue eq;
+            event_queue_workload(eq, kQueueEvents);
+        });
+        cases.push_back({"event_queue_throughput", "events_per_sec",
+                         kQueueEvents / seed_s, kQueueEvents / fast_s});
+    }
+
+    // Wormhole sends at 1 / 64 / 4096 packets (sends/sec).
+    SocConfig cfg = SocConfig::Sim();
+    cfg.noc_relay_store_forward = false;
+    noc::MeshTopology topo(cfg.mesh_x, cfg.mesh_y);
+    for (std::uint64_t npkts : {1ull, 64ull, 4096ull}) {
+        const std::uint64_t bytes = cfg.packet_bytes * npkts;
+        const int iters = npkts >= 4096 ? 2000 : 20000;
+
+        double seed_s = best_seconds_of(reps, [&] {
+            seed::SeedEventQueue eq;
+            seed::SeedNoc<> net(cfg, topo, eq);
+            Tick t = 0;
+            for (int i = 0; i < iters; ++i) {
+                net.send(t, 0, 35, bytes, 1, 0);
+                t += 10000;
+            }
+        });
+        double fast_s = best_seconds_of(reps, [&] {
+            EventQueue eq;
+            noc::Network net(cfg, topo, eq);
+            Tick t = 0;
+            for (int i = 0; i < iters; ++i) {
+                net.send(t, 0, 35, bytes, 1, 0);
+                t += 10000;
+            }
+        });
+        cases.push_back({"noc_send_" + std::to_string(npkts) + "pkt",
+                         "sends_per_sec", iters / seed_s, iters / fast_s});
+    }
+    return cases;
+}
+
+void
+write_json(const std::vector<CompareCase>& cases, const char* path)
+{
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"noc_kernels\",\n  \"cases\": [\n");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const CompareCase& c = cases[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"metric\": \"%s\", "
+                     "\"seed\": %.1f, \"fast\": %.1f, "
+                     "\"speedup\": %.2f}%s\n",
+                     c.name.c_str(), c.metric.c_str(), c.seed, c.fast,
+                     c.fast / c.seed, i + 1 < cases.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+
+    std::vector<CompareCase> cases = run_comparisons();
+    std::printf("\nseed-vs-fast comparison (written to BENCH_noc.json):\n");
+    for (const CompareCase& c : cases)
+        std::printf("  %-28s %12.0f -> %12.0f %s  (%.1fx)\n",
+                    c.name.c_str(), c.seed, c.fast, c.metric.c_str(),
+                    c.fast / c.seed);
+    write_json(cases, "BENCH_noc.json");
+    return 0;
+}

@@ -7,27 +7,34 @@
 
 namespace vnpu::noc {
 
-int
-RouteOverride::next_hop(int cur, int dst) const
-{
-    auto it = next_.find(key(cur, dst));
-    return it == next_.end() ? kInvalidCore : it->second;
-}
-
 RouteOverride
 RouteOverride::build_confined(const MeshTopology& topo, CoreMask region)
 {
+    const int n = topo.num_nodes();
+    if (n > kMaxCores)
+        fatal("route override: mesh has ", n, " nodes but CoreMask regions",
+              " support at most ", kMaxCores);
+
     RouteOverride ov;
+    ov.nodes_ = n;
+    ov.next_.assign(static_cast<std::size_t>(n) * n,
+                    static_cast<std::int16_t>(kInvalidCore));
+
     std::vector<int> nodes;
-    for (int id = 0; id < topo.num_nodes(); ++id)
+    for (int id = 0; id < n; ++id)
         if (region & core_bit(id))
             nodes.push_back(id);
 
     // BFS from each destination over region-internal links; parent
-    // pointers give the next hop toward that destination.
+    // pointers give the next hop toward that destination. The scratch
+    // arrays are reused across destinations so the build allocates a
+    // constant number of times regardless of region size.
+    std::vector<int> dist(n);
+    std::vector<int> queue;
+    queue.reserve(nodes.size());
     for (int dst : nodes) {
-        std::vector<int> dist(topo.num_nodes(), -1);
-        std::vector<int> queue{dst};
+        std::fill(dist.begin(), dist.end(), -1);
+        queue.assign(1, dst);
         dist[dst] = 0;
         for (std::size_t head = 0; head < queue.size(); ++head) {
             int v = queue[head];
@@ -61,7 +68,9 @@ RouteOverride::build_confined(const MeshTopology& topo, CoreMask region)
                 }
             }
             VNPU_ASSERT(best != kInvalidCore);
-            ov.next_[key(cur, dst)] = static_cast<std::int16_t>(best);
+            ov.next_[static_cast<std::size_t>(cur) * n + dst] =
+                static_cast<std::int16_t>(best);
+            ++ov.entries_;
         }
     }
     return ov;
@@ -81,23 +90,19 @@ Network::link_index(int from, int to) const
     return from * 4 + static_cast<int>(topo_.dir_to(from, to));
 }
 
+Cycles
+Network::ser_cycles(std::uint64_t bytes) const
+{
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(bytes) / cfg_.link_bytes_per_cycle));
+}
+
 std::vector<int>
 Network::route_path(int src, int dst, const RouteOverride* route) const
 {
     std::vector<int> path{src};
-    int cur = src;
-    int guard = 0;
-    while (cur != dst) {
-        int next = kInvalidCore;
-        if (route != nullptr)
-            next = route->next_hop(cur, dst);
-        if (next == kInvalidCore)
-            next = topo_.xy_next_hop(cur, dst);
-        path.push_back(next);
-        cur = next;
-        if (++guard > topo_.num_nodes() * 2)
-            panic("routing loop from ", src, " to ", dst);
-    }
+    walk_route(src, dst, route,
+               [&path](int, int to, int) { path.push_back(to); });
     return path;
 }
 
@@ -111,10 +116,16 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
     if (route != nullptr)
         ++stats_.confined_messages;
 
+    const std::uint64_t pkt_bytes = cfg_.packet_bytes;
+    const std::uint64_t npkts = (bytes + pkt_bytes - 1) / pkt_bytes;
+    stats_.packets += npkts;
+
     if (src == dst) {
-        // Local loopback through the core's own send/receive engine.
+        // Local loopback through the core's own send/receive engine: no
+        // links are reserved, but the payload still serializes through
+        // the engine at link bandwidth (it is the same datapath).
         ++stats_.local_deliveries;
-        Tick done = start + cfg_.noc_handshake_cycles;
+        Tick done = start + cfg_.noc_handshake_cycles + ser_cycles(bytes);
         if (deliver_) {
             eq_.schedule(done, [this, dst, src, bytes, tag, vm, credit] {
                 deliver_(dst, src, bytes, tag, vm, credit);
@@ -123,57 +134,64 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
         return {done, done, 0};
     }
 
-    std::vector<int> path = route_path(src, dst, route);
-    const int hops = static_cast<int>(path.size()) - 1;
-
-    const std::uint64_t pkt_bytes = cfg_.packet_bytes;
-    const std::uint64_t npkts = (bytes + pkt_bytes - 1) / pkt_bytes;
-    stats_.packets += npkts;
-
+    const Tick inject_ready = start + cfg_.noc_handshake_cycles;
     Tick sender_free = start;
     Tick delivered = start;
-    Tick inject_ready = start + cfg_.noc_handshake_cycles;
+    int hops = 0;
 
     if (cfg_.noc_relay_store_forward) {
         // Each relay node fully receives the message before re-sending
         // it (Figure 5's chained send semantics): every hop costs the
         // whole message serialization and occupies the link for it.
-        Cycles ser = static_cast<Cycles>(
-            std::ceil(bytes / cfg_.link_bytes_per_cycle));
+        const Cycles ser = ser_cycles(bytes);
         Tick t = inject_ready;
-        for (int i = 0; i < hops; ++i) {
-            int li = link_index(path[i], path[i + 1]);
-            Tick depart = std::max(t, link_busy_[li]) +
-                          cfg_.router_delay + ser;
+        hops = walk_route(src, dst, route, [&](int from, int to, int hop) {
+            const int li = link_index(from, to);
+            const Tick depart =
+                std::max(t, link_busy_[li]) + cfg_.router_delay + ser;
             link_busy_[li] = depart;
-            if (vm >= 0 && vm < 64)
-                link_vms_[li] |= std::uint64_t{1} << vm;
+            mark_link(li, vm);
             t = depart;
-            if (i == 0)
+            if (hop == 0)
                 sender_free = depart;
-        }
+        });
         delivered = t;
+    } else if (npkts > 0) {
+        // Idealized wormhole: routing packets pipeline across hops. All
+        // packets are `packet_bytes` except the tail, so the per-packet
+        // recurrence has a closed form (docs/sim_kernel.md): walk the
+        // path once computing the *first* packet's per-link departure
+        // t0, then shift every link's final occupancy by the constant
+        //   delta = (n-2)*(R+S) + R + S_tail        (n >= 2 packets)
+        // where R is the router delay, S the full-packet serialization
+        // and S_tail the tail packet's. This replaces the seed's
+        // O(npkts * hops) inner loop with O(hops) work.
+        const std::uint64_t tail_bytes = bytes - (npkts - 1) * pkt_bytes;
+        const Cycles ser_tail = ser_cycles(tail_bytes);
+        const Cycles ser_full =
+            npkts == 1 ? ser_tail : ser_cycles(pkt_bytes);
+        const Cycles delta =
+            npkts == 1 ? 0
+                       : (npkts - 2) * (cfg_.router_delay + ser_full) +
+                             cfg_.router_delay + ser_tail;
+
+        Tick t = inject_ready;
+        hops = walk_route(src, dst, route, [&](int from, int to, int hop) {
+            const int li = link_index(from, to);
+            const Tick depart =
+                std::max(t, link_busy_[li]) + cfg_.router_delay + ser_full;
+            link_busy_[li] = depart + delta;
+            mark_link(li, vm);
+            t = depart;
+            if (hop == 0)
+                sender_free = depart + delta;
+        });
+        delivered = t + delta;
     } else {
-        // Idealized wormhole: routing packets pipeline across hops.
-        for (std::uint64_t p = 0; p < npkts; ++p) {
-            std::uint64_t payload =
-                std::min(pkt_bytes, bytes - p * pkt_bytes);
-            Cycles ser = static_cast<Cycles>(
-                std::ceil(payload / cfg_.link_bytes_per_cycle));
-            Tick t = inject_ready;
-            for (int i = 0; i < hops; ++i) {
-                int li = link_index(path[i], path[i + 1]);
-                Tick depart = std::max(t, link_busy_[li]) +
-                              cfg_.router_delay + ser;
-                link_busy_[li] = depart;
-                if (vm >= 0 && vm < 64)
-                    link_vms_[li] |= std::uint64_t{1} << vm;
-                t = depart;
-                if (i == 0)
-                    sender_free = depart;
-            }
-            delivered = std::max(delivered, t);
-        }
+        // Zero-byte wormhole message: no packets, no link occupancy,
+        // instant delivery — but the hop count still follows the
+        // (possibly confined) route.
+        hops = walk_route(src, dst, route, [](int, int, int) {});
     }
 
     if (deliver_) {

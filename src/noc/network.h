@@ -11,13 +11,19 @@
  * the hypervisor from the per-core routing-table directions) confines a
  * virtual NPU's packets to its own region, eliminating NoC interference
  * between virtual NPUs (paper §4.1.2).
+ *
+ * The send path is allocation-free: hops are walked directly via the
+ * next-hop functions (no materialized path vector), the wormhole
+ * per-packet inner loop is collapsed into a closed-form per-link
+ * occupancy update (docs/sim_kernel.md derives it), and `RouteOverride`
+ * is a dense next-hop matrix indexed by (current, destination).
  */
 
 #ifndef VNPU_NOC_NETWORK_H
 #define VNPU_NOC_NETWORK_H
 
+#include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "noc/topology.h"
@@ -33,14 +39,25 @@ namespace vnpu::noc {
  * the routing-table "direction" fields: for every (current node,
  * destination) pair inside the region it names the next node on a
  * shortest path that never leaves the region.
+ *
+ * Stored as a flat `int16_t` next-hop matrix indexed `cur * N + dst`
+ * (N = mesh nodes): one confined-route lookup is a single indexed load
+ * on the hottest path of every isolation experiment.
  */
 class RouteOverride {
   public:
     /** Next hop from `cur` toward `dst`, or kInvalidCore if unknown. */
-    int next_hop(int cur, int dst) const;
+    int
+    next_hop(int cur, int dst) const
+    {
+        if (static_cast<unsigned>(cur) >= static_cast<unsigned>(nodes_) ||
+            static_cast<unsigned>(dst) >= static_cast<unsigned>(nodes_))
+            return kInvalidCore;
+        return next_[static_cast<std::size_t>(cur) * nodes_ + dst];
+    }
 
     /** Number of stored direction entries (for meta-table sizing). */
-    std::size_t size() const { return next_.size(); }
+    std::size_t size() const { return entries_; }
 
     /**
      * Build confined shortest-path routing inside `region` via BFS from
@@ -52,13 +69,9 @@ class RouteOverride {
                                         CoreMask region);
 
   private:
-    static std::uint32_t key(int cur, int dst)
-    {
-        return static_cast<std::uint32_t>(cur) << 8 |
-               static_cast<std::uint32_t>(dst);
-    }
-
-    std::unordered_map<std::uint32_t, std::int16_t> next_;
+    std::vector<std::int16_t> next_;
+    int nodes_ = 0;
+    std::size_t entries_ = 0;
 };
 
 /** Outcome of a message send. */
@@ -133,6 +146,51 @@ class Network {
 
   private:
     int link_index(int from, int to) const;
+
+    /** Next hop toward `dst`: override direction if present, else XY. */
+    int
+    next_hop(int cur, int dst, const RouteOverride* route) const
+    {
+        if (route != nullptr) {
+            int next = route->next_hop(cur, dst);
+            if (next != kInvalidCore)
+                return next;
+        }
+        return topo_.xy_next_hop(cur, dst);
+    }
+
+    /**
+     * Walk the route from `src` to `dst`, invoking
+     * `per_link(from, to, hop_index)` for every traversed link.
+     * @return the hop count. Panics on a routing loop.
+     */
+    template <typename Fn>
+    int
+    walk_route(int src, int dst, const RouteOverride* route,
+               Fn&& per_link) const
+    {
+        int cur = src;
+        int hops = 0;
+        while (cur != dst) {
+            const int next = next_hop(cur, dst, route);
+            per_link(cur, next, hops);
+            cur = next;
+            if (++hops > topo_.num_nodes() * 2)
+                panic("routing loop from ", src, " to ", dst);
+        }
+        return hops;
+    }
+
+    /** Record that `vm` used directed link `li`. */
+    void
+    mark_link(int li, VmId vm)
+    {
+        if (vm >= 0 && vm < 64)
+            link_vms_[li] |= std::uint64_t{1} << vm;
+    }
+
+    /** Cycles to serialize `bytes` at link bandwidth. */
+    Cycles ser_cycles(std::uint64_t bytes) const;
 
     const SocConfig& cfg_;
     const MeshTopology& topo_;

@@ -21,7 +21,7 @@ to_string(Direction d)
 
 MeshTopology::MeshTopology(int w, int h) : w_(w), h_(h)
 {
-    if (w <= 0 || h <= 0 || w * h > kMaxCores)
+    if (w <= 0 || h <= 0 || w * h > kMaxMeshNodes)
         fatal("invalid mesh dimensions ", w, "x", h);
 }
 

@@ -27,6 +27,13 @@ enum class Direction : std::uint8_t {
 const char* to_string(Direction d);
 
 /**
+ * Largest mesh the pure-topology model supports (routing, link timing).
+ * APIs that take a `CoreMask` region (confined routes, interface
+ * counting, the virtualization stack) remain limited to `kMaxCores`.
+ */
+inline constexpr int kMaxMeshNodes = 1024;
+
+/**
  * A W x H 2D mesh of NPU cores. Node (x, y) has id y*W + x; row 0 is the
  * "north" edge. HBM memory interfaces sit on the west edge, one per row,
  * striped across the configured number of HBM channels.

@@ -2,43 +2,131 @@
 
 namespace vnpu {
 
+EventQueue::EventQueue() : wheel_(kWheelSize) {}
+
+Tick
+EventQueue::next_event_tick() const
+{
+    // Wheel buckets hold ticks strictly after now_ within the window;
+    // scan the occupancy bitmap from the slot following now_. After a
+    // run(limit) jump past the window end the wheel is empty by
+    // construction, so the scan is skipped.
+    if (now_ - window_start_ < kWheelSize - 1) {
+        std::size_t s = static_cast<std::size_t>(now_ - window_start_) + 1;
+        std::size_t w = s >> 6;
+        std::uint64_t word = occupied_[w] & (~std::uint64_t{0} << (s & 63));
+        for (;;) {
+            if (word != 0) {
+                std::size_t slot = (w << 6) + __builtin_ctzll(word);
+                return window_start_ + slot;
+            }
+            if (++w >= occupied_.size())
+                break;
+            word = occupied_[w];
+        }
+    }
+    if (!overflow_.empty())
+        return overflow_.top().when;
+    return kTickMax;
+}
+
+void
+EventQueue::advance_window(Tick when)
+{
+    window_start_ = when & ~static_cast<Tick>(kWheelMask);
+    // Pull every overflow event that now falls inside the window into
+    // its bucket. The heap pops in (when, seq) order, so bucket append
+    // order stays consistent with scheduling order; any event scheduled
+    // after this drain carries a larger seq and appends behind.
+    while (!overflow_.empty() &&
+           overflow_.top().when - window_start_ < kWheelSize) {
+        OverflowEntry& top = const_cast<OverflowEntry&>(overflow_.top());
+        const std::size_t slot = top.when & kWheelMask;
+        wheel_[slot].push_back(std::move(top.cb));
+        occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+        overflow_.pop();
+    }
+}
+
+void
+EventQueue::load_batch(Tick when)
+{
+    if (when - window_start_ >= kWheelSize)
+        advance_window(when);
+    now_ = when;
+    const std::size_t slot = when & kWheelMask;
+    // Swap rather than move: the drained batch vector's capacity is
+    // recycled as the bucket's backing store. Cap what a bucket may
+    // retain, though — without the cap, one large burst's array would
+    // migrate slot to slot until all kWheelSize buckets pin a copy of
+    // the largest batch ever seen (hundreds of MB on dense workloads).
+    batch_.swap(wheel_[slot]);
+    if (wheel_[slot].capacity() > kBucketKeepCapacity)
+        std::vector<Callback>().swap(wheel_[slot]);
+    batch_pos_ = 0;
+    occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+}
+
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!heap_.empty()) {
-        const Entry& top = heap_.top();
-        if (top.when > limit) {
+    // A limit in the past can have nothing runnable (past scheduling
+    // panics), and moving now_ backwards would strand wheel events
+    // behind the occupancy scan; keep the clock monotonic instead.
+    if (limit < now_)
+        return now_;
+    for (;;) {
+        // Execute the current tick's batch by index: callbacks may
+        // append same-tick events, which extend this very batch.
+        while (batch_pos_ < batch_.size()) {
+            Callback cb = std::move(batch_[batch_pos_++]);
+            --pending_;
+            cb();
+            maybe_compact_batch();
+        }
+        batch_.clear();
+        batch_pos_ = 0;
+
+        Tick t = next_event_tick();
+        if (t == kTickMax)
+            return now_;
+        if (t > limit) {
             now_ = limit;
             return now_;
         }
-        now_ = top.when;
-        // Move the callback out before popping so that the callback may
-        // itself schedule new events without invalidating `top`.
-        Callback cb = std::move(const_cast<Entry&>(top).cb);
-        heap_.pop();
-        cb();
+        load_batch(t);
     }
-    return now_;
 }
 
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
-        return false;
-    const Entry& top = heap_.top();
-    now_ = top.when;
-    Callback cb = std::move(const_cast<Entry&>(top).cb);
-    heap_.pop();
+    if (batch_pos_ >= batch_.size()) {
+        batch_.clear();
+        batch_pos_ = 0;
+        Tick t = next_event_tick();
+        if (t == kTickMax)
+            return false;
+        load_batch(t);
+    }
+    Callback cb = std::move(batch_[batch_pos_++]);
+    --pending_;
     cb();
+    maybe_compact_batch();
     return true;
 }
 
 void
 EventQueue::clear()
 {
-    while (!heap_.empty())
-        heap_.pop();
+    batch_.clear();
+    batch_pos_ = 0;
+    for (auto& bucket : wheel_)
+        bucket.clear();
+    occupied_.fill(0);
+    while (!overflow_.empty())
+        overflow_.pop();
+    pending_ = 0;
 }
 
 } // namespace vnpu

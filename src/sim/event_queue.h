@@ -5,27 +5,39 @@
  * All components of the NPU model (cores, NoC, DMA, controller) share one
  * EventQueue. Events scheduled at the same tick execute in FIFO order of
  * scheduling, which makes every simulation run bit-reproducible.
+ *
+ * Implementation: a calendar (timer-wheel) queue instead of a binary
+ * heap. The wheel covers a window of `kWheelSize` consecutive ticks with
+ * one FIFO bucket per tick, so scheduling a near-future event — the
+ * overwhelmingly common case in this cycle-approximate model — is an
+ * O(1) append with no comparisons. Events beyond the window land in an
+ * overflow min-heap keyed by (tick, sequence) and are drained into the
+ * wheel when the window advances, preserving global FIFO-within-tick
+ * order (see docs/sim_kernel.md for the invariants and the proof
+ * sketch). Callbacks are `EventCallback`s with inline capture storage,
+ * so steady-state scheduling performs no heap allocation at all.
  */
 
 #ifndef VNPU_SIM_EVENT_QUEUE_H
 #define VNPU_SIM_EVENT_QUEUE_H
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/log.h"
 #include "sim/types.h"
 
 namespace vnpu {
 
-/** A deterministic min-heap event queue keyed by (tick, insertion seq). */
+/** A deterministic bucketed event queue, FIFO within each tick. */
 class EventQueue {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
-    EventQueue() = default;
+    EventQueue();
 
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
@@ -34,7 +46,7 @@ class EventQueue {
     Tick now() const { return now_; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return pending_; }
 
     /**
      * Schedule `cb` to run at absolute tick `when`.
@@ -45,7 +57,20 @@ class EventQueue {
     {
         if (when < now_)
             panic("scheduling event in the past: ", when, " < ", now_);
-        heap_.push(Entry{when, next_seq_++, std::move(cb)});
+        ++pending_;
+        if (when == now_) {
+            // Same-tick events join the batch currently being executed
+            // (or the one the next run()/step() will execute first).
+            batch_.push_back(std::move(cb));
+            return;
+        }
+        if (when - window_start_ < kWheelSize) {
+            const std::size_t slot = when & kWheelMask;
+            wheel_[slot].push_back(std::move(cb));
+            occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+            return;
+        }
+        overflow_.push(OverflowEntry{when, next_seq_++, std::move(cb)});
     }
 
     /** Schedule `cb` to run `delay` cycles from now. */
@@ -67,15 +92,25 @@ class EventQueue {
     void clear();
 
   private:
-    struct Entry {
+    /** Wheel window width in ticks (one bucket per tick). */
+    static constexpr std::size_t kWheelBits = 12;
+    static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+    static constexpr std::size_t kWheelMask = kWheelSize - 1;
+
+    /** Largest capacity (entries) a drained bucket keeps for reuse. */
+    static constexpr std::size_t kBucketKeepCapacity = 16;
+    /** Executed-prefix length that triggers batch compaction. */
+    static constexpr std::size_t kBatchCompactThreshold = 1024;
+
+    struct OverflowEntry {
         Tick when;
         std::uint64_t seq;
         Callback cb;
     };
 
-    struct Later {
+    struct OverflowLater {
         bool
-        operator()(const Entry& a, const Entry& b) const
+        operator()(const OverflowEntry& a, const OverflowEntry& b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -83,9 +118,53 @@ class EventQueue {
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Earliest pending tick (> now_, batch excluded), or kTickMax. */
+    Tick next_event_tick() const;
+
+    /** Commit to executing tick `when`: advance the clock/window and
+     *  move that tick's bucket into the execution batch. */
+    void load_batch(Tick when);
+
+    /** Advance the wheel window so that `when` falls inside it, pulling
+     *  newly in-window overflow events into their buckets. */
+    void advance_window(Tick when);
+
+    /**
+     * Drop the executed batch prefix once it dominates, so same-tick
+     * cascades keep the batch proportional to the live tail
+     * (amortized O(1) per event).
+     */
+    void
+    maybe_compact_batch()
+    {
+        if (batch_pos_ >= kBatchCompactThreshold &&
+            batch_pos_ * 2 >= batch_.size()) {
+            batch_.erase(batch_.begin(),
+                         batch_.begin() +
+                             static_cast<std::ptrdiff_t>(batch_pos_));
+            batch_pos_ = 0;
+        }
+    }
+
+    /** Current-tick events, executed by index so callbacks may append. */
+    std::vector<Callback> batch_;
+    std::size_t batch_pos_ = 0;
+
+    /** One FIFO bucket per tick in [window_start_, window_start_+N). */
+    std::vector<std::vector<Callback>> wheel_;
+    /** Bitmap of non-empty wheel buckets (1 bit per slot). */
+    std::array<std::uint64_t, kWheelSize / 64> occupied_{};
+
+    /** First tick covered by the wheel (aligned to kWheelSize). */
+    Tick window_start_ = 0;
+
+    std::priority_queue<OverflowEntry, std::vector<OverflowEntry>,
+                        OverflowLater>
+        overflow_;
+
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
+    std::size_t pending_ = 0;
 };
 
 } // namespace vnpu

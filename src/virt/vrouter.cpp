@@ -10,7 +10,12 @@ InstVRouter::install(const RoutingTable* rt)
     VNPU_ASSERT(rt != nullptr);
     if (!ctrl_.hyper_mode())
         panic("installing a routing table requires hyper mode");
-    tables_[rt->vm()] = rt;
+    VmId vm = rt->vm();
+    if (vm < 0)
+        panic("cannot install a routing table for vm ", vm);
+    if (static_cast<std::size_t>(vm) >= tables_.size())
+        tables_.resize(static_cast<std::size_t>(vm) + 1, nullptr);
+    tables_[static_cast<std::size_t>(vm)] = rt;
 }
 
 void
@@ -18,16 +23,17 @@ InstVRouter::remove(VmId vm)
 {
     if (!ctrl_.hyper_mode())
         panic("removing a routing table requires hyper mode");
-    tables_.erase(vm);
+    if (vm >= 0 && static_cast<std::size_t>(vm) < tables_.size())
+        tables_[static_cast<std::size_t>(vm)] = nullptr;
 }
 
 InstVRouter::Dispatch
 InstVRouter::dispatch(VmId vm, CoreId vcore, core::DispatchVia via)
 {
-    auto it = tables_.find(vm);
-    if (it == tables_.end())
+    const RoutingTable* rt = table_of(vm);
+    if (rt == nullptr)
         panic("vm ", vm, " has no routing table installed");
-    CoreId pcore = it->second->lookup(vcore);
+    CoreId pcore = rt->lookup(vcore);
     if (pcore == kInvalidCore) {
         // The routing table is the isolation boundary: a virtual core
         // id outside the table must never reach a physical core.

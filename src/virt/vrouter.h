@@ -16,7 +16,7 @@
 #ifndef VNPU_VIRT_VROUTER_H
 #define VNPU_VIRT_VROUTER_H
 
-#include <map>
+#include <vector>
 
 #include "core/controller.h"
 #include "core/npu_core.h"
@@ -52,11 +52,29 @@ class InstVRouter {
     Dispatch dispatch(VmId vm, CoreId vcore, core::DispatchVia via);
 
     /** True when the vm has a table installed. */
-    bool has_vm(VmId vm) const { return tables_.count(vm) != 0; }
+    bool
+    has_vm(VmId vm) const
+    {
+        return table_of(vm) != nullptr;
+    }
 
   private:
+    /** Installed table for `vm`, or nullptr. */
+    const RoutingTable*
+    table_of(VmId vm) const
+    {
+        if (vm < 0 || static_cast<std::size_t>(vm) >= tables_.size())
+            return nullptr;
+        return tables_[static_cast<std::size_t>(vm)];
+    }
+
     core::NpuController& ctrl_;
-    std::map<VmId, const RoutingTable*> tables_;
+    /**
+     * Per-VM routing-table cache, densely indexed by VmId (the
+     * hypervisor hands out small consecutive ids): dispatch is a single
+     * indexed load instead of a tree walk.
+     */
+    std::vector<const RoutingTable*> tables_;
 };
 
 /**

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -100,6 +102,130 @@ TEST(EventQueueTest, StepExecutesExactlyOneEvent)
     EXPECT_TRUE(eq.step());
     EXPECT_FALSE(eq.step());
     EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, FarFutureEventsCrossCalendarWindows)
+{
+    // The wheel covers a 4096-tick window; events far beyond it take
+    // the overflow path and must still execute in global (tick, FIFO)
+    // order as the window advances across many empty stretches.
+    EventQueue eq;
+    std::vector<Tick> order;
+    const Tick ticks[] = {1,       5000,    4095,    4096,   1u << 20,
+                          123456,  4097,    9999999, 2,      8191};
+    for (Tick t : ticks)
+        eq.schedule(t, [&order, t, &eq] {
+            EXPECT_EQ(eq.now(), t);
+            order.push_back(t);
+        });
+    eq.run();
+    std::vector<Tick> sorted(std::begin(ticks), std::end(ticks));
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(order, sorted);
+    EXPECT_EQ(eq.now(), 9999999u);
+}
+
+TEST(EventQueueTest, SameTickFifoAcrossOverflowBoundary)
+{
+    // Two events at the same far-future tick, one scheduled before and
+    // one after intermediate progress: FIFO order must survive the
+    // overflow-to-wheel drain.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick far = 1000000;
+    eq.schedule(far, [&] { order.push_back(1); });
+    eq.schedule(10, [&, far] {
+        eq.schedule(far, [&] { order.push_back(2); });
+    });
+    eq.schedule(far, [&] { order.push_back(3); });
+    eq.run();
+    // Seq order of scheduling: 1, 3 (both at t=0), then 2 (at t=10).
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(EventQueueTest, RunLimitBetweenWindows)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1000000, [&] { ++fired; });
+    // Stop in the dead zone between now and the far event.
+    EXPECT_EQ(eq.run(50000), 50000u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.pending(), 1u);
+    // Scheduling relative to the limit-advanced clock still works.
+    eq.schedule_in(100, [&] { fired += 10; });
+    eq.run();
+    EXPECT_EQ(fired, 11);
+    EXPECT_EQ(eq.now(), 1000000u);
+}
+
+TEST(EventQueueTest, RunWithPastLimitIsANoOp)
+{
+    // The clock is monotonic: run(limit) with limit < now() executes
+    // nothing, keeps now(), and later runs still see every event.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10040, [&] { ++fired; });
+    eq.schedule(10050, [&] { ++fired; });
+    eq.run(10045);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10045u);
+    EXPECT_EQ(eq.run(5), 10045u); // past limit: no-op, clock unchanged
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 10050u);
+}
+
+TEST(EventQueueTest, PendingTracksWheelAndOverflow)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [] {});
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(1u << 24, [] {});
+    EXPECT_EQ(eq.pending(), 17u);
+    eq.run(10);
+    EXPECT_EQ(eq.pending(), 7u);
+    eq.clear();
+    EXPECT_EQ(eq.pending(), 0u);
+    eq.run();
+    EXPECT_EQ(eq.now(), 10u); // clear() keeps the clock
+}
+
+TEST(EventQueueTest, LargeCapturesFallBackToHeap)
+{
+    // Captures beyond EventCallback's inline buffer use the heap path;
+    // behavior must be identical.
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    eq.schedule(9, [payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    static_assert(sizeof(payload) > EventCallback::kInlineBytes);
+    eq.run();
+    EXPECT_EQ(sum, 376u); // sum of i*3+1 for i in [0, 16)
+}
+
+TEST(EventQueueTest, StepInterleavesWithRunAcrossWindows)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3, [&] { order.push_back(1); });
+    eq.schedule(3, [&] { order.push_back(2); });
+    eq.schedule(100000, [&] { order.push_back(3); });
+    EXPECT_TRUE(eq.step()); // first of the tick-3 batch
+    EXPECT_EQ(eq.now(), 3u);
+    eq.run(50000);          // finishes the batch, stops before 100000
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_FALSE(eq.step());
 }
 
 TEST(EventQueueTest, ManyInterleavedEventsStaysDeterministic)

@@ -105,10 +105,34 @@ TEST_F(NetFixture, DeliveryCallbackFiresAtArrival)
 
 TEST_F(NetFixture, LocalLoopbackSkipsLinks)
 {
+    // No links are reserved, but the 1 MiB payload still serializes
+    // through the send/receive engine at link bandwidth and the packet
+    // counter sees the message (Fig. 3/13 local-traffic accounting).
     SendResult r = net.send(100, 7, 7, 1 << 20, kNoVm, 0);
     EXPECT_EQ(r.hops, 0);
-    EXPECT_EQ(r.delivered, 100u + cfg.noc_handshake_cycles);
+    Cycles ser = (1 << 20) / 16; // 65536 cycles at 16 B/cycle
+    EXPECT_EQ(r.delivered, 100u + cfg.noc_handshake_cycles + ser);
+    EXPECT_EQ(r.sender_free, r.delivered);
     EXPECT_EQ(net.stats().local_deliveries.value(), 1u);
+    EXPECT_EQ(net.stats().packets.value(), (1u << 20) / 2048);
+    // Links stay idle: a later remote message sees no contention.
+    EXPECT_EQ(net.link_busy_until(7, 6), 0u);
+}
+
+TEST_F(NetFixture, LoopbackDeliveryCallbackFires)
+{
+    Tick delivered_at = 0;
+    net.set_deliver_callback([&](int dst, int src, std::uint64_t bytes,
+                                 int, VmId, bool) {
+        EXPECT_EQ(dst, 3);
+        EXPECT_EQ(src, 3);
+        EXPECT_EQ(bytes, 4096u);
+        delivered_at = eq.now();
+    });
+    SendResult r = net.send(0, 3, 3, 4096, kNoVm, 0);
+    eq.run();
+    EXPECT_EQ(delivered_at, r.delivered);
+    EXPECT_EQ(r.delivered, cfg.noc_handshake_cycles + 4096u / 16u);
 }
 
 TEST_F(NetFixture, ContentionSerializesSharedLink)
@@ -173,6 +197,23 @@ TEST_F(NetFixture, ConfinedRoutingEliminatesInterference)
     net.send(0, topo.id_of(3, 0), topo.id_of(2, 3), 8192, 2, 1, &ov_r);
     EXPECT_EQ(net.interference_links(), 0);
     EXPECT_EQ(net.stats().confined_messages.value(), 2u);
+}
+
+TEST_F(NetFixture, ZeroByteSendFollowsConfinedRoute)
+{
+    // Zero-byte wormhole messages occupy no links but must still
+    // report the confined route's hop count, not Manhattan distance.
+    SocConfig wcfg = make_cfg();
+    wcfg.noc_relay_store_forward = false;
+    EventQueue weq;
+    Network wnet(wcfg, topo, weq);
+    CoreMask region = core_bit(0) | core_bit(4) | core_bit(8) |
+                      core_bit(9) | core_bit(10);
+    RouteOverride ov = RouteOverride::build_confined(topo, region);
+    SendResult r = wnet.send(0, 0, 10, 0, 1, 0, &ov);
+    EXPECT_EQ(r.hops, 4);               // 0->4->8->9->10, not 3 (Manhattan)
+    EXPECT_EQ(r.delivered, 0u);         // no packets, instant
+    EXPECT_EQ(wnet.link_busy_until(0, 4), 0u); // no link reserved
 }
 
 TEST_F(NetFixture, OverrideRequiresConnectedRegion)

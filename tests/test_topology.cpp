@@ -117,8 +117,26 @@ TEST(TopologyTest, ToGraphMatchesMesh)
 
 TEST(TopologyTest, RejectsOversizedMesh)
 {
-    EXPECT_THROW(MeshTopology(9, 9), SimFatal);
+    // Pure-topology meshes may exceed kMaxCores (large-mesh golden
+    // traces), but not the kMaxMeshNodes routing-model limit.
+    EXPECT_NO_THROW(MeshTopology(16, 16));
+    EXPECT_THROW(MeshTopology(40, 40), SimFatal);
     EXPECT_THROW(MeshTopology(0, 4), SimFatal);
+}
+
+TEST(TopologyTest, LargeMeshRoutesXy)
+{
+    MeshTopology t(16, 16);
+    EXPECT_EQ(t.num_nodes(), 256);
+    // XY: east along row 0, then south down column 15.
+    int cur = 0;
+    int hops = 0;
+    while (cur != 255) {
+        cur = t.xy_next_hop(cur, 255);
+        ++hops;
+    }
+    EXPECT_EQ(hops, t.hop_distance(0, 255));
+    EXPECT_EQ(hops, 30);
 }
 
 } // namespace
