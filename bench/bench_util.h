@@ -6,19 +6,129 @@
 #ifndef VNPU_BENCH_BENCH_UTIL_H
 #define VNPU_BENCH_BENCH_UTIL_H
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vnpu::bench {
 
-/** Print a banner naming the reproduced figure/table. */
-inline void
-banner(const std::string& id, const std::string& caption)
+/** JSON string-literal escaping for names/labels that reach write(). */
+inline std::string
+json_escape(const std::string& s)
 {
-    std::printf("\n================================================================\n");
-    std::printf("%s — %s\n", id.c_str(), caption.c_str());
-    std::printf("================================================================\n");
+    std::string out;
+    for (char c : s) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", u);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/**
+ * Machine-readable mirror of a harness's printf tables, in the same
+ * shape as BENCH_noc.json: `{"bench": ..., "cases": [{...}, ...]}`.
+ * Each case is one flat object of a name plus (optionally) string
+ * fields and numeric fields, so CI can diff reproduced numbers against
+ * the paper across PRs.
+ */
+class JsonReport {
+  public:
+    /**
+     * `stem` names the output file (`BENCH_<stem>.json`) and, unless a
+     * distinct `label` is given, the top-level "bench" field too.
+     */
+    explicit JsonReport(std::string stem, std::string label = "")
+        : stem_(std::move(stem)),
+          label_(label.empty() ? stem_ : std::move(label))
+    {
+    }
+
+    /** Add one case; fields keep insertion order (strings first). */
+    void
+    add(const std::string& name,
+        std::vector<std::pair<std::string, double>> fields,
+        std::vector<std::pair<std::string, std::string>> text = {})
+    {
+        cases_.push_back({name, std::move(text), std::move(fields)});
+    }
+
+    /** Write `BENCH_<stem>.json` into the working directory. */
+    void
+    write() const
+    {
+        std::string path = "BENCH_" + stem_ + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cases\": [\n",
+                     json_escape(label_).c_str());
+        for (std::size_t i = 0; i < cases_.size(); ++i) {
+            std::fprintf(f, "    {\"name\": \"%s\"",
+                         json_escape(cases_[i].name).c_str());
+            for (const auto& [key, value] : cases_[i].text)
+                std::fprintf(f, ", \"%s\": \"%s\"",
+                             json_escape(key).c_str(),
+                             json_escape(value).c_str());
+            for (const auto& [key, value] : cases_[i].fields) {
+                // inf/nan are not JSON tokens; emit null so a single
+                // degenerate ratio cannot break the whole artifact.
+                if (std::isfinite(value))
+                    std::fprintf(f, ", \"%s\": %.6g",
+                                 json_escape(key).c_str(), value);
+                else
+                    std::fprintf(f, ", \"%s\": null",
+                                 json_escape(key).c_str());
+            }
+            std::fprintf(f, "}%s\n",
+                         i + 1 < cases_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("\n[%s written]\n", path.c_str());
+    }
+
+  private:
+    struct Case {
+        std::string name;
+        std::vector<std::pair<std::string, std::string>> text;
+        std::vector<std::pair<std::string, double>> fields;
+    };
+
+    std::string stem_;
+    std::string label_;
+    std::vector<Case> cases_;
+};
+
+/** JSON field key from a column header: "vNPU fps" -> "vnpu_fps". */
+inline std::string
+json_key(const std::string& header)
+{
+    std::string key;
+    for (char c : header) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            key += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        else if (!key.empty() && key.back() != '_')
+            key += '_';
+    }
+    while (!key.empty() && key.back() == '_')
+        key.pop_back();
+    return key.empty() ? "value" : key;
 }
 
 /** Print one row of right-aligned columns. */
@@ -28,6 +138,62 @@ row(const std::vector<std::string>& cells, int width = 14)
     for (const std::string& c : cells)
         std::printf("%*s", width, c.c_str());
     std::printf("\n");
+}
+
+/**
+ * A printf table that also records every row into a JsonReport, so the
+ * human-readable and machine-readable outputs cannot drift. The first
+ * column names the case (prefixed per table); the remaining cells are
+ * parsed as leading numbers ("1.92x" -> 1.92), non-numeric cells are
+ * skipped.
+ */
+class Table {
+  public:
+    Table(JsonReport& report, std::string case_prefix,
+          std::vector<std::string> columns, int width = 14)
+        : report_(report), prefix_(std::move(case_prefix)),
+          columns_(std::move(columns)), width_(width)
+    {
+        row_raw(columns_);
+    }
+
+    void
+    row(const std::vector<std::string>& cells)
+    {
+        row_raw(cells);
+        std::vector<std::pair<std::string, double>> fields;
+        for (std::size_t i = 1;
+             i < cells.size() && i < columns_.size(); ++i) {
+            char* end = nullptr;
+            double v = std::strtod(cells[i].c_str(), &end);
+            if (end != cells[i].c_str())
+                fields.emplace_back(json_key(columns_[i]), v);
+        }
+        std::string name = cells.empty() ? "" : json_key(cells[0]);
+        report_.add(prefix_.empty() ? name : prefix_ + "_" + name,
+                    std::move(fields));
+    }
+
+  private:
+    void
+    row_raw(const std::vector<std::string>& cells)
+    {
+        bench::row(cells, width_);
+    }
+
+    JsonReport& report_;
+    std::string prefix_;
+    std::vector<std::string> columns_;
+    int width_;
+};
+
+/** Print a banner naming the reproduced figure/table. */
+inline void
+banner(const std::string& id, const std::string& caption)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s — %s\n", id.c_str(), caption.c_str());
+    std::printf("================================================================\n");
 }
 
 inline std::string

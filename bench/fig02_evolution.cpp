@@ -15,7 +15,9 @@ main()
 {
     bench::banner("Figure 2",
                   "NPU resource evolution 2017-2024 (literature data)");
-    bench::row({"year", "chip", "TFLOPS", "SRAM(MB)"}, 16);
+    bench::JsonReport report("fig02_evolution");
+    bench::Table table(report, "", {"chip", "year", "TFLOPS", "SRAM(MB)"},
+                       16);
     struct Row { const char* year; const char* chip; double tflops; double sram; };
     const Row rows[] = {
         {"2017", "TPU-v2", 46, 32},
@@ -29,9 +31,10 @@ main()
         {"2024", "Tenstorrent", 466, 192},
     };
     for (const Row& r : rows) {
-        bench::row({r.year, r.chip, bench::fmt(r.tflops, 0),
-                    bench::fmt(r.sram, 0)}, 16);
+        table.row({r.chip, r.year, bench::fmt(r.tflops, 0),
+                   bench::fmt(r.sram, 0)});
     }
+    report.write();
     std::printf("\ntrend: both compute (>100 TFLOPS) and on-chip SRAM "
                 "(>200 MB) scaled for LLMs, leaving small models "
                 "under-utilizing the chip.\n");

@@ -42,13 +42,16 @@ main()
 {
     bench::banner("Figure 3",
                   "FLOPS utilization on a 36-core chip, by batch size");
-    bench::row({"model", "batch=1", "batch=8", "batch=32"});
+    bench::JsonReport report("fig03_utilization");
+    bench::Table table(report, "util_pct",
+                       {"model", "batch=1", "batch=8", "batch=32"});
     for (const char* name : {"bert", "dlrm", "efficientnet", "alexnet",
                              "resnet18", "retinanet", "resnet50"}) {
-        bench::row({name, bench::fmt(100 * utilization(name, 1), 1) + "%",
-                    bench::fmt(100 * utilization(name, 8), 1) + "%",
-                    bench::fmt(100 * utilization(name, 32), 1) + "%"});
+        table.row({name, bench::fmt(100 * utilization(name, 1), 1) + "%",
+                   bench::fmt(100 * utilization(name, 8), 1) + "%",
+                   bench::fmt(100 * utilization(name, 32), 1) + "%"});
     }
+    report.write();
     std::printf("\npaper: the majority of traditional ML models stay "
                 "below 50%% of the chip's FLOPS.\n");
     return 0;

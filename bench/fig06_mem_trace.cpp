@@ -65,5 +65,15 @@ main()
     std::printf("Pattern-3 (repeats across iterations): %s\n",
                 trace.repeating_across_iterations() ? "HOLDS" : "violated");
     std::printf("total DMA records: %zu\n", trace.records().size());
+
+    bench::JsonReport report("fig06_mem_trace");
+    report.add("patterns",
+               {{"monotonic_within_iterations",
+                 trace.monotonic_within_iterations() ? 1.0 : 0.0},
+                {"repeating_across_iterations",
+                 trace.repeating_across_iterations() ? 1.0 : 0.0},
+                {"dma_records",
+                 static_cast<double>(trace.records().size())}});
+    report.write();
     return 0;
 }

@@ -23,14 +23,17 @@ main()
     core::NpuController ctrl(cfg, topo);
     ctrl.set_hyper_mode(true);
 
-    bench::row({"cores", "query(clk)", "write(clk)", "total(clk)"});
+    bench::JsonReport report("fig11_rt_config");
+    bench::Table table(report, "cores",
+                       {"cores", "query(clk)", "write(clk)", "total(clk)"});
     for (int n = 1; n <= 8; ++n) {
         Cycles total = ctrl.configure_routing_table(1, n);
         Cycles query = n * cfg.rt_config_query_cycles;
         Cycles write = n * cfg.rt_config_write_cycles;
-        bench::row({bench::fmt_u(n), bench::fmt_u(query),
-                    bench::fmt_u(write), bench::fmt_u(total)});
+        table.row({bench::fmt_u(n), bench::fmt_u(query),
+                   bench::fmt_u(write), bench::fmt_u(total)});
     }
+    report.write();
     std::printf("\npaper: total setup is a few hundred cycles; negligible "
                 "during vNPU creation.\n");
     return 0;

@@ -25,20 +25,22 @@ main()
     core::NpuController ctrl(cfg, topo);
     core::ComputeModel cm(cfg);
 
-    bench::row({"target", "latency(clk)"});
-    bench::row({"IBUS", bench::fmt_u(ctrl.dispatch_cost(
-                            0, core::DispatchVia::kIbus))});
+    bench::JsonReport report("fig12_dispatch");
+    bench::Table table(report, "", {"target", "latency(clk)"});
+    table.row({"IBUS", bench::fmt_u(ctrl.dispatch_cost(
+                           0, core::DispatchVia::kIbus))});
     for (int c = 0; c < cfg.num_cores(); ++c) {
-        bench::row({"NoC#" + std::to_string(c + 1),
-                    bench::fmt_u(ctrl.dispatch_cost(
-                        c, core::DispatchVia::kInoc))});
+        table.row({"NoC#" + std::to_string(c + 1),
+                   bench::fmt_u(ctrl.dispatch_cost(
+                       c, core::DispatchVia::kInoc))});
     }
 
     // Kernel execution times for scale (the paper's right-hand bars).
     core::KernelCost conv = cm.conv(32, 32, 16, 16, 3);
     core::KernelCost mm = cm.matmul(128, 128, 128);
-    bench::row({"Conv", bench::fmt_u(conv.cycles)});
-    bench::row({"Matmul", bench::fmt_u(mm.cycles)});
+    table.row({"Conv", bench::fmt_u(conv.cycles)});
+    table.row({"Matmul", bench::fmt_u(mm.cycles)});
+    report.write();
 
     double worst_dispatch = static_cast<double>(
         ctrl.dispatch_cost(cfg.num_cores() - 1, core::DispatchVia::kInoc));

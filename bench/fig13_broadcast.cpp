@@ -99,6 +99,7 @@ main()
          64ull * 32 * 2},
     };
 
+    bench::JsonReport report("fig13_broadcast");
     double ratio_sum = 0;
     int ratio_n = 0;
     for (const Kernel& k : kernels) {
@@ -106,20 +107,23 @@ main()
             core::ComputeModel(SocConfig::Fpga()).cost(k.dims);
         std::printf("\n%s  (computation time: %llu clk)\n", k.name,
                     static_cast<unsigned long long>(cost.cycles));
-        bench::row({"ratio", "vRouter(clk)", "UVM-sync(clk)", "speedup",
-                    "hidden?"});
+        bench::Table table(report, k.name,
+                           {"ratio", "vRouter(clk)", "UVM-sync(clk)",
+                            "speedup", "hidden?"});
         for (int r = 1; r <= 4; ++r) {
             Tick v = broadcast_vrouter(k, r);
             Tick u = broadcast_uvm(k, r);
             double speedup = static_cast<double>(u) / std::max<Tick>(v, 1);
             ratio_sum += speedup;
             ++ratio_n;
-            bench::row({"1:" + std::to_string(r), bench::fmt_u(v),
-                        bench::fmt_u(u), bench::fmt(speedup, 2) + "x",
-                        v < cost.cycles ? "yes" : "NO"});
+            table.row({"1:" + std::to_string(r), bench::fmt_u(v),
+                       bench::fmt_u(u), bench::fmt(speedup, 2) + "x",
+                       v < cost.cycles ? "yes" : "NO"});
         }
     }
     std::printf("\naverage vRouter speedup over UVM-sync: %.2fx "
                 "(paper: 4.24x)\n", ratio_sum / ratio_n);
+    report.add("average", {{"vrouter_speedup", ratio_sum / ratio_n}});
+    report.write();
     return 0;
 }

@@ -81,18 +81,23 @@ main()
 
     const char* labels[] = {"128dim_16slen", "64dim_16slen", "16wh_64c",
                             "20wh_32c"};
+    bench::JsonReport report("fig15_uvm");
     std::printf("\nSingle-instance (clocks per iteration)\n");
-    bench::row({"block", "vNPU", "UVM", "speedup"});
-    for (const char* label : labels) {
-        double v = single_instance(label, CommMode::kDataflow);
-        double u = single_instance(label, CommMode::kUvmSync);
-        bench::row({label, bench::fmt(v, 0), bench::fmt(u, 0),
-                    bench::fmt(u / v, 2) + "x"});
+    {
+        bench::Table table(report, "single",
+                           {"block", "vNPU", "UVM", "speedup"});
+        for (const char* label : labels) {
+            double v = single_instance(label, CommMode::kDataflow);
+            double u = single_instance(label, CommMode::kUvmSync);
+            table.row({label, bench::fmt(v, 0), bench::fmt(u, 0),
+                       bench::fmt(u / v, 2) + "x"});
+        }
     }
 
     std::printf("\nMulti-instance (Transformer + ResNet concurrently)\n");
-    bench::row({"block", "vNPU", "vNPU-multi", "UVM", "UVM-multi",
-                "UVM degr."});
+    bench::Table table(report, "multi",
+                       {"block", "vNPU", "vNPU-multi", "UVM", "UVM-multi",
+                        "UVM degr."});
     const char* pair_a = "128dim_16slen";
     const char* pair_b = "16wh_64c";
     auto [va_m, vb_m] = multi_instance(pair_a, pair_b, CommMode::kDataflow);
@@ -101,16 +106,17 @@ main()
     double vb_s = single_instance(pair_b, CommMode::kDataflow);
     double ua_s = single_instance(pair_a, CommMode::kUvmSync);
     double ub_s = single_instance(pair_b, CommMode::kUvmSync);
-    bench::row({pair_a, bench::fmt(va_s, 0), bench::fmt(va_m, 0),
-                bench::fmt(ua_s, 0), bench::fmt(ua_m, 0),
-                bench::fmt(100 * (ua_m / ua_s - 1), 1) + "%"});
-    bench::row({pair_b, bench::fmt(vb_s, 0), bench::fmt(vb_m, 0),
-                bench::fmt(ub_s, 0), bench::fmt(ub_m, 0),
-                bench::fmt(100 * (ub_m / ub_s - 1), 1) + "%"});
+    table.row({pair_a, bench::fmt(va_s, 0), bench::fmt(va_m, 0),
+               bench::fmt(ua_s, 0), bench::fmt(ua_m, 0),
+               bench::fmt(100 * (ua_m / ua_s - 1), 1) + "%"});
+    table.row({pair_b, bench::fmt(vb_s, 0), bench::fmt(vb_m, 0),
+               bench::fmt(ub_s, 0), bench::fmt(ub_m, 0),
+               bench::fmt(100 * (ub_m / ub_s - 1), 1) + "%"});
     std::printf("\nvNPU multi-instance degradation: %.1f%% / %.1f%% "
                 "(paper: negligible)\n",
                 100 * (va_m / va_s - 1), 100 * (vb_m / vb_s - 1));
     std::printf("paper: Transformer 2.29x over UVM; ResNet ~5.4%%; UVM "
                 "multi-instance ~24%% degradation.\n");
+    report.write();
     return 0;
 }

@@ -123,22 +123,23 @@ run_bare(const SocConfig& cfg, const Tenant& t)
 }
 
 void
-chip(const char* title, const SocConfig& cfg, const Tenant& ta,
-     const Tenant& tb)
+chip(bench::JsonReport& report, const char* prefix, const char* title,
+     const SocConfig& cfg, const Tenant& ta, const Tenant& tb)
 {
     std::printf("\n--- %s ---\n", title);
     Outcome vn = run_vnpu(cfg, ta, tb);
     Outcome mg = run_mig(cfg, ta, tb);
 
-    bench::row({"tenant", "cores", "vNPU fps", "MIG fps", "vNPU/MIG",
-                "warmup v", "warmup m"}, 12);
+    bench::Table table(report, prefix,
+                       {"tenant", "cores", "vNPU fps", "MIG fps",
+                        "vNPU/MIG", "warmup v", "warmup m"},
+                       12);
     auto line = [&](const Tenant& t, const LaunchResult& v,
                     const LaunchResult& g) {
-        bench::row({t.model, bench::fmt_u(t.cores), bench::fmt(v.fps, 1),
-                    bench::fmt(g.fps, 1),
-                    bench::fmt(v.fps / g.fps, 2) + "x",
-                    bench::fmt_u(v.warmup), bench::fmt_u(g.warmup)},
-                   12);
+        table.row({t.model, bench::fmt_u(t.cores), bench::fmt(v.fps, 1),
+                   bench::fmt(g.fps, 1),
+                   bench::fmt(v.fps / g.fps, 2) + "x",
+                   bench::fmt_u(v.warmup), bench::fmt_u(g.warmup)});
     };
     line(ta, vn.a, mg.a);
     line(tb, vn.b, mg.b);
@@ -159,6 +160,9 @@ chip(const char* title, const SocConfig& cfg, const Tenant& ta,
     std::printf("virtualization overhead vs bare metal (%s): %.2f%% "
                 "(paper: <1%%)\n",
                 ta.model.c_str(), 100 * (alone.iter_period / bare - 1.0));
+    report.add(std::string(prefix) + "_overhead",
+               {{"bare_overhead_pct",
+                 100 * (alone.iter_period / bare - 1.0)}});
 }
 
 } // namespace
@@ -168,19 +172,22 @@ main()
 {
     bench::banner("Figure 16",
                   "vNPU vs MIG: performance and warm-up, two tenants");
-    chip("36-core chip: GPT2-s + ResNet34", SocConfig::Sim(),
-         {"gpt2-s", 12}, {"resnet34", 24});
+    bench::JsonReport report("fig16_mig");
+    chip(report, "chip36", "36-core chip: GPT2-s + ResNet34",
+         SocConfig::Sim(), {"gpt2-s", 12}, {"resnet34", 24});
     // GPT2-m's stages are small enough that two contexts co-reside in
     // one scratchpad under MIG TDM: the degradation is pure compute
     // serialization, the paper's ~1.92x mechanism.
-    chip("48-core chip: GPT2-s + GPT2-m (36 cores requested)",
+    chip(report, "chip48_gpt2m",
+         "48-core chip: GPT2-s + GPT2-m (36 cores requested)",
          SocConfig::Sim48(), {"gpt2-s", 12}, {"gpt2-m", 36});
     // GPT2-l's ~20 MB int8 stages cannot co-reside (2x20 MB > 30 MB
     // SPAD), so MIG TDM additionally re-streams weights and loses by
     // more than the paper's compute-only factor.
-    chip("48-core chip: GPT2-s + GPT2-l", SocConfig::Sim48(),
-         {"gpt2-s", 12}, {"gpt2-l", 36});
+    chip(report, "chip48_gpt2l", "48-core chip: GPT2-s + GPT2-l",
+         SocConfig::Sim48(), {"gpt2-s", 12}, {"gpt2-l", 36});
     std::printf("\npaper: vNPU up to 1.92x (GPT2-l under MIG TDM), "
                 "1.28x average for ResNet34.\n");
+    report.write();
     return 0;
 }

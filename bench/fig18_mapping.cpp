@@ -71,24 +71,27 @@ main()
     bench::banner("Figure 17/18",
                   "Similar-topology vs straightforward (zig-zag) mapping");
 
+    bench::JsonReport report("fig18_mapping");
     for (const char* model : {"resnet18", "resnet34", "gpt2-s"}) {
         std::printf("\n%s\n", model);
-        bench::row({"cores", "vNPU fps", "zigzag fps", "gain", "TED v",
-                    "TED z"}, 12);
+        bench::Table table(report, model,
+                           {"cores", "vNPU fps", "zigzag fps", "gain",
+                            "TED v", "TED z"},
+                           12);
         for (int cores : {9, 11, 13, 16, 24, 28}) {
             LaunchResult sim = run_strategy(
                 model, cores, MappingStrategy::kSimilarTopology);
             LaunchResult zig = run_strategy(
                 model, cores, MappingStrategy::kStraightforward);
-            bench::row({bench::fmt_u(cores), bench::fmt(sim.fps, 1),
-                        bench::fmt(zig.fps, 1),
-                        bench::fmt(100 * (sim.fps / zig.fps - 1), 1) + "%",
-                        bench::fmt(sim.mapping_ted, 0),
-                        bench::fmt(zig.mapping_ted, 0)},
-                       12);
+            table.row({bench::fmt_u(cores), bench::fmt(sim.fps, 1),
+                       bench::fmt(zig.fps, 1),
+                       bench::fmt(100 * (sim.fps / zig.fps - 1), 1) + "%",
+                       bench::fmt(sim.mapping_ted, 0),
+                       bench::fmt(zig.mapping_ted, 0)});
         }
     }
     std::printf("\npaper: ResNet ~40%% gain at 28 cores, ~6%% at 11; "
                 "GPT zig-zag reaches ~89%% of the vNPU mapping.\n");
+    report.write();
     return 0;
 }

@@ -31,17 +31,18 @@ main()
     HwCost kim_ctrl = uvm_mmu_cost(32); // controller-side IOMMU
     HwCost kim_core = uvm_mmu_cost(4);  // per-core IOTLB
 
-    auto print = [](const char* what, const HwCost& base,
-                    const HwCost& extra) {
+    bench::JsonReport report("fig19_hw_cost");
+    bench::Table table(report, "overhead_pct",
+                       {"component", "LUTs", "LUTRAMs", "FFs", "bits"},
+                       18);
+    auto print = [&table](const char* what, const HwCost& base,
+                          const HwCost& extra) {
         HwOverhead oh = overhead(base, extra);
-        bench::row({what, bench::fmt(oh.luts_pct, 2) + "%",
-                    bench::fmt(oh.lutrams_pct, 2) + "%",
-                    bench::fmt(oh.ffs_pct, 2) + "%",
-                    bench::fmt_u(extra.bits)},
-                   18);
+        table.row({what, bench::fmt(oh.luts_pct, 2) + "%",
+                   bench::fmt(oh.lutrams_pct, 2) + "%",
+                   bench::fmt(oh.ffs_pct, 2) + "%",
+                   bench::fmt_u(extra.bits)});
     };
-
-    bench::row({"component", "LUTs", "LUTRAMs", "FFs", "bits"}, 18);
     print("controller(Kim's)", base_ctrl, kim_ctrl);
     print("controller(vNPU)", base_ctrl, vnpu_ctrl);
     print("core(Kim's)", base_core, kim_core);
@@ -54,5 +55,10 @@ main()
                 rt.luts, rt.lutrams, rt.ffs,
                 static_cast<unsigned long long>(rt.bits), base_ctrl.luts);
     std::printf("paper: both designs add ~2%% LUTs/FFs.\n");
+    report.add("routing_table_128", {{"luts", rt.luts},
+                                     {"lutrams", rt.lutrams},
+                                     {"ffs", rt.ffs},
+                                     {"bits", static_cast<double>(rt.bits)}});
+    report.write();
     return 0;
 }

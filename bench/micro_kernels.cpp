@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -65,7 +67,7 @@ static void
 BM_EnumerateConnected(benchmark::State& state)
 {
     graph::Graph mesh = graph::Graph::mesh(6, 6);
-    graph::NodeMask all = (graph::NodeMask{1} << 36) - 1;
+    graph::NodeMask all = graph::NodeMask::first_n(36);
     int k = static_cast<int>(state.range(0));
     for (auto _ : state) {
         std::uint64_t n = graph::count_connected_subsets(mesh, k, all,
@@ -217,11 +219,48 @@ BM_MapperSimilar(benchmark::State& state)
     req.vtopo = hyp::TopologyMapper::snake_topology(
         static_cast<int>(state.range(0)));
     req.max_candidates = 64;
-    CoreMask free = ((CoreMask{1} << 36) - 1) & ~CoreMask{0x3};
+    CoreSet free = CoreSet::first_n(36).andnot(CoreSet::from_word(0x3));
     for (auto _ : state)
         benchmark::DoNotOptimize(mapper.map(req, free).ted);
 }
 BENCHMARK(BM_MapperSimilar)->Arg(9)->Arg(16);
+
+/** Similar-topology mapping on a full 32x32 (1024-core) chip. */
+static void
+BM_MapperSimilar1024(benchmark::State& state)
+{
+    noc::MeshTopology topo(32, 32);
+    hyp::TopologyMapper mapper(topo);
+    hyp::MappingRequest req;
+    req.vtopo = hyp::TopologyMapper::snake_topology(
+        static_cast<int>(state.range(0)));
+    req.max_candidates = 64;
+    CoreSet free = CoreSet::first_n(1024).andnot(CoreSet::from_word(0x3));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mapper.map(req, free).ted);
+}
+BENCHMARK(BM_MapperSimilar1024)->Arg(16)->Arg(32);
+
+/** Raw CoreSet kernels at full 1024-bit width. */
+static void
+BM_CoreSetOps(benchmark::State& state)
+{
+    Rng rng(0xC0DE);
+    CoreSet a, b;
+    for (int i = 0; i < 256; ++i) {
+        a.set(static_cast<int>(rng.next_below(CoreSet::kCapacity)));
+        b.set(static_cast<int>(rng.next_below(CoreSet::kCapacity)));
+    }
+    for (auto _ : state) {
+        CoreSet c = (a & b) | a.andnot(b);
+        int sum = c.count();
+        for (int v : c)
+            sum += v;
+        benchmark::DoNotOptimize(sum);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CoreSetOps);
 
 // ---- Seed-vs-fast comparison, emitted as BENCH_noc.json --------------
 //
@@ -278,6 +317,76 @@ run_comparisons()
                          kQueueEvents / seed_s, kQueueEvents / fast_s});
     }
 
+    // CoreSet algebra + popcount + iteration vs the same logical work
+    // on a raw u64 mask (the pre-widening representation): the cost of
+    // carrying 1024-bit sets on the 64-core-scale paths. Both sides
+    // run the identical loop shape — derive the next operand from the
+    // accumulator so nothing folds to a constant.
+    {
+        constexpr int kOps = 200000;
+        constexpr std::uint64_t kLcg = 6364136223846793005ull;
+        const std::uint64_t b0 = Rng(0xC0DE).next();
+        double seed_s = best_seconds_of(reps, [&] {
+            std::uint64_t acc = 0, w = 0x9e3779b97f4a7c15ull;
+            for (int i = 0; i < kOps; ++i) {
+                std::uint64_t a = w, b = b0;
+                std::uint64_t both = a & b;
+                std::uint64_t either = a | b;
+                acc += static_cast<std::uint64_t>(
+                    __builtin_popcountll(both));
+                std::uint64_t m = either;
+                while (m) {
+                    acc += static_cast<std::uint64_t>(
+                        __builtin_ctzll(m));
+                    m &= m - 1;
+                }
+                w = w * kLcg + acc;
+            }
+            benchmark::DoNotOptimize(acc);
+        });
+        const CoreSet cb2 = CoreSet::from_word(b0);
+        double fast_s = best_seconds_of(reps, [&] {
+            std::uint64_t acc = 0, w = 0x9e3779b97f4a7c15ull;
+            for (int i = 0; i < kOps; ++i) {
+                CoreSet a = CoreSet::from_word(w);
+                CoreSet both = a & cb2;
+                CoreSet either = a | cb2;
+                acc += static_cast<std::uint64_t>(both.count());
+                for (int v : either)
+                    acc += static_cast<std::uint64_t>(v);
+                w = w * kLcg + acc;
+            }
+            benchmark::DoNotOptimize(acc);
+        });
+        cases.push_back({"coreset_ops_64bit_sets", "ops_per_sec",
+                         kOps / seed_s, kOps / fast_s});
+    }
+
+    // Mapper throughput: the old 64-core ceiling (8x8) vs the newly
+    // reachable 1024-core chip (32x32), similar-topology strategy.
+    {
+        hyp::MappingRequest req;
+        req.vtopo = hyp::TopologyMapper::snake_topology(16);
+        req.max_candidates = 64;
+        const int maps = 3;
+        noc::MeshTopology topo64(8, 8);
+        hyp::TopologyMapper mapper64(topo64);
+        CoreSet free64 = CoreSet::first_n(64);
+        double seed_s = best_seconds_of(reps, [&] {
+            for (int i = 0; i < maps; ++i)
+                benchmark::DoNotOptimize(mapper64.map(req, free64).ted);
+        });
+        noc::MeshTopology topo1k(32, 32);
+        hyp::TopologyMapper mapper1k(topo1k);
+        CoreSet free1k = CoreSet::first_n(1024);
+        double fast_s = best_seconds_of(reps, [&] {
+            for (int i = 0; i < maps; ++i)
+                benchmark::DoNotOptimize(mapper1k.map(req, free1k).ted);
+        });
+        cases.push_back({"mapper_similar16_64c_vs_1024c", "maps_per_sec",
+                         maps / seed_s, maps / fast_s});
+    }
+
     // Wormhole sends at 1 / 64 / 4096 packets (sends/sec).
     SocConfig cfg = SocConfig::Sim();
     cfg.noc_relay_store_forward = false;
@@ -311,25 +420,16 @@ run_comparisons()
 }
 
 void
-write_json(const std::vector<CompareCase>& cases, const char* path)
+write_json(const std::vector<CompareCase>& cases)
 {
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"noc_kernels\",\n  \"cases\": [\n");
-    for (std::size_t i = 0; i < cases.size(); ++i) {
-        const CompareCase& c = cases[i];
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"metric\": \"%s\", "
-                     "\"seed\": %.1f, \"fast\": %.1f, "
-                     "\"speedup\": %.2f}%s\n",
-                     c.name.c_str(), c.metric.c_str(), c.seed, c.fast,
-                     c.fast / c.seed, i + 1 < cases.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    bench::JsonReport report("noc", "noc_kernels");
+    for (const CompareCase& c : cases)
+        report.add(c.name,
+                   {{"seed", c.seed},
+                    {"fast", c.fast},
+                    {"speedup", c.fast / c.seed}},
+                   {{"metric", c.metric}});
+    report.write();
 }
 
 } // namespace
@@ -349,6 +449,6 @@ main(int argc, char** argv)
         std::printf("  %-28s %12.0f -> %12.0f %s  (%.1fx)\n",
                     c.name.c_str(), c.seed, c.fast, c.metric.c_str(),
                     c.fast / c.seed);
-    write_json(cases, "BENCH_noc.json");
+    write_json(cases);
     return 0;
 }

@@ -72,20 +72,23 @@ main()
 {
     bench::banner("Table 3",
                   "NoC virtualization: send/recv clocks, bare vs vRouter");
-    bench::row({"packets", "Send", "Receive", "vSend", "vReceive",
-                "overhead"});
+    bench::JsonReport report("table3_noc_virt");
+    bench::Table table(report, "packets",
+                       {"packets", "Send", "Receive", "vSend", "vReceive",
+                        "overhead"});
     for (std::uint64_t packets : {2, 10, 20, 30}) {
         Timing bare = measure(packets, false);
         Timing virt = measure(packets, true);
         double oh = 100.0 *
                     (static_cast<double>(virt.recv_done) / bare.recv_done -
                      1.0);
-        bench::row({bench::fmt_u(packets), bench::fmt_u(bare.send_done),
-                    bench::fmt_u(bare.recv_done),
-                    bench::fmt_u(virt.send_done),
-                    bench::fmt_u(virt.recv_done),
-                    bench::fmt(oh, 1) + "%"});
+        table.row({bench::fmt_u(packets), bench::fmt_u(bare.send_done),
+                   bench::fmt_u(bare.recv_done),
+                   bench::fmt_u(virt.send_done),
+                   bench::fmt_u(virt.recv_done),
+                   bench::fmt(oh, 1) + "%"});
     }
+    report.write();
     std::printf("\npaper: 309/311 -> 342/372 clk at 2 packets, "
                 "4236/4240 -> 4240/4308 at 30 (1-2%% overhead).\n");
     return 0;

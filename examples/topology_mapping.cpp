@@ -20,14 +20,14 @@ namespace {
 /** Draw the mesh with each core labelled by owning VM ('.' = free). */
 void
 draw(const noc::MeshTopology& topo,
-     const std::vector<std::pair<char, CoreMask>>& owners)
+     const std::vector<std::pair<char, CoreSet>>& owners)
 {
     for (int y = 0; y < topo.height(); ++y) {
         std::printf("    ");
         for (int x = 0; x < topo.width(); ++x) {
             char c = '.';
-            for (auto [label, mask] : owners)
-                if (mask & core_bit(topo.id_of(x, y)))
+            for (const auto& [label, mask] : owners)
+                if (mask.test(topo.id_of(x, y)))
                     c = label;
             std::printf("%c ", c);
         }
@@ -74,9 +74,7 @@ main()
     hyp::MappingResult zig = hv.try_map(probe);
     std::printf("\n3) straightforward (zig-zag) mapping: TED %.0f\n",
                 zig.ted);
-    CoreMask zig_mask = 0;
-    for (CoreId c : zig.assignment)
-        zig_mask |= core_bit(c);
+    CoreSet zig_mask = CoreSet::from_range(zig.assignment);
     draw(m.topology(), {{'A', first.mask()}, {'z', zig_mask}});
 
     spec.strategy = hyp::MappingStrategy::kSimilarTopology;
@@ -104,9 +102,7 @@ main()
                 "%s, TED %.2f\n",
                 hr.ok ? "mapped" : "failed", hr.ted);
     if (hr.ok) {
-        CoreMask frag = 0;
-        for (CoreId c : hr.assignment)
-            frag |= core_bit(c);
+        CoreSet frag = CoreSet::from_range(hr.assignment);
         draw(m.topology(),
              {{'A', first.mask()}, {'B', second.mask()}, {'c', frag}});
     }

@@ -18,6 +18,9 @@ NpuCore::add_context(Program prog, const ContextConfig& ccfg)
     auto ctx = std::make_unique<Context>();
     ctx->prog = std::move(prog);
     ctx->cfg = ccfg;
+    for (std::size_t i = 0; i < ctx->prog.size(); ++i)
+        if (ctx->prog[i].op == Opcode::kRecv)
+            ctx->last_recv_pc[ctx->prog[i].tag] = i;
     ctxs_.push_back(std::move(ctx));
     return static_cast<int>(ctxs_.size()) - 1;
 }
@@ -306,18 +309,14 @@ NpuCore::deliver(CoreId src_phys, std::uint64_t bytes, int tag, VmId vm,
             target = ctx.get();
             break;
         }
-        // Not waiting yet: does any future recv in this context use the
-        // tag? (Linear scan is fine: programs are modest and delivery
-        // rate is bounded by the NoC.)
-        for (std::size_t i = ctx->pc; i < ctx->prog.size(); ++i) {
-            const Instr& in = ctx->prog[i];
-            if (in.op == Opcode::kRecv && in.tag == tag) {
-                target = ctx.get();
-                break;
-            }
-        }
-        if (target)
+        // Not waiting yet: does any future recv in this context use
+        // the tag? The per-tag index built at load time answers in
+        // O(log tags); the old per-delivery scan of the program text
+        // was quadratic for long programs.
+        if (ctx->expects_tag(tag)) {
+            target = ctx.get();
             break;
+        }
     }
     if (!target) {
         warn("core ", id_, ": dropping message tag ", tag, " vm ", vm,

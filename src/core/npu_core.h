@@ -150,7 +150,22 @@ class NpuCore {
         std::map<int, std::deque<InboxEntry>> inbox;
         /** Flow-control credits per outgoing edge tag. */
         std::map<int, int> credits;
+        /**
+         * Program index of the last kRecv per tag (built at load
+         * time). A tag is still consumable iff that index is >= pc,
+         * so delivery lookup is O(log tags) instead of a linear
+         * rescan of the program text per message.
+         */
+        std::map<int, std::size_t> last_recv_pc;
         ContextStats stats;
+
+        /** True when a kRecv for `tag` is at or after the current pc. */
+        bool
+        expects_tag(int tag) const
+        {
+            auto it = last_recv_pc.find(tag);
+            return it != last_recv_pc.end() && it->second >= pc;
+        }
     };
 
     /** Return one credit to the producer after consuming a message. */

@@ -9,37 +9,74 @@ namespace vnpu::graph {
 namespace {
 
 /**
+ * Mask-representation shim for the enumerator. Graphs of at most 64
+ * nodes — every pre-CoreSet workload, and the region sizes the golden
+ * traces pin — enumerate on plain `uint64_t` words extracted from the
+ * CoreSet adjacency; only larger meshes pay for wide masks. Both
+ * representations traverse bits in ascending order, so the emitted
+ * subset sequence is identical.
+ */
+template <typename M>
+struct Ops;
+
+template <>
+struct Ops<std::uint64_t> {
+    static bool any(std::uint64_t m) { return m != 0; }
+    static int
+    pop_lowest(std::uint64_t& m)
+    {
+        const int b = __builtin_ctzll(m);
+        m &= m - 1;
+        return b;
+    }
+    static std::uint64_t of(int b) { return std::uint64_t{1} << b; }
+    static std::uint64_t
+    first_n(int n)
+    {
+        return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+    }
+    static std::uint64_t
+    andnot(std::uint64_t a, std::uint64_t b)
+    {
+        return a & ~b;
+    }
+    static NodeMask widen(std::uint64_t m) { return NodeMask::from_word(m); }
+};
+
+template <>
+struct Ops<NodeMask> {
+    static bool any(const NodeMask& m) { return m.any(); }
+    static int pop_lowest(NodeMask& m) { return m.pop_lowest(); }
+    static NodeMask of(int b) { return NodeMask::of(b); }
+    static NodeMask first_n(int n) { return NodeMask::first_n(n); }
+    static NodeMask
+    andnot(const NodeMask& a, const NodeMask& b)
+    {
+        return a.andnot(b);
+    }
+    static const NodeMask& widen(const NodeMask& m) { return m; }
+};
+
+/**
  * Recursive exclusive-neighborhood expansion. `sub` is the current
  * connected set; `ext` are nodes that may still be added (all > root in
  * id order or discovered through the subgraph), guaranteeing each vertex
  * set is generated exactly once.
  */
+template <typename M>
 struct Enumerator {
-    const Graph& g;
+    const std::vector<M>& adj;
     int k;
-    NodeMask allowed;
-    const std::function<bool(NodeMask)>& cb;
+    M allowed;
+    const std::function<bool(const NodeMask&)>& cb;
     std::uint64_t max_results;
     std::uint64_t step_budget;
     std::uint64_t produced = 0;
     std::uint64_t steps = 0;
     bool stopped = false;
 
-    NodeMask
-    neighborhood(NodeMask set) const
-    {
-        NodeMask nb = 0;
-        NodeMask m = set;
-        while (m) {
-            int v = __builtin_ctzll(m);
-            m &= m - 1;
-            nb |= g.neighbors(v);
-        }
-        return nb & ~set;
-    }
-
     void
-    extend(NodeMask sub, NodeMask ext, NodeMask forbidden)
+    extend(const M& sub, M ext, M forbidden, int depth)
     {
         if (stopped)
             return;
@@ -50,33 +87,48 @@ struct Enumerator {
             stopped = true;
             return;
         }
-        if (__builtin_popcountll(sub) == k) {
+        if (depth == k) {
             ++produced;
-            if (!cb(sub) || produced >= max_results)
+            if (!cb(Ops<M>::widen(sub)) || produced >= max_results)
                 stopped = true;
             return;
         }
-        while (ext && !stopped) {
-            int w = __builtin_ctzll(ext);
-            ext &= ext - 1;
-            NodeMask wbit = NodeMask{1} << w;
+        while (Ops<M>::any(ext) && !stopped) {
+            const int w = Ops<M>::pop_lowest(ext);
+            const M wbit = Ops<M>::of(w);
             // Nodes considered at this level may not be re-added deeper:
-            // they become forbidden, which removes duplicates.
-            NodeMask new_forbidden = forbidden | wbit | ext;
-            NodeMask new_sub = sub | wbit;
-            NodeMask new_ext =
-                (ext | (g.neighbors(w) & allowed & ~new_forbidden)) & ~wbit;
-            extend(new_sub, new_ext, new_forbidden);
+            // they become forbidden, which removes duplicates. `w` is
+            // already out of `ext` and lands in the forbidden set, so
+            // the extension set needs no explicit `~wbit`.
+            M new_forbidden = forbidden | wbit | ext;
+            M new_ext =
+                ext | Ops<M>::andnot(adj[w] & allowed, new_forbidden);
+            extend(sub | wbit, new_ext, new_forbidden, depth + 1);
             forbidden |= wbit;
         }
+    }
+
+    std::uint64_t
+    run()
+    {
+        M todo = allowed;
+        while (Ops<M>::any(todo) && !stopped) {
+            const int root = Ops<M>::pop_lowest(todo);
+            // Roots are processed in ascending order; processed roots
+            // are excluded so each subset is found from its min node.
+            M forbidden = Ops<M>::first_n(root + 1);
+            M ext = Ops<M>::andnot(adj[root] & allowed, forbidden);
+            extend(Ops<M>::of(root), ext, forbidden, 1);
+        }
+        return produced;
     }
 };
 
 } // namespace
 
 std::uint64_t
-enumerate_connected_subsets(const Graph& g, int k, NodeMask allowed,
-                            const std::function<bool(NodeMask)>& cb,
+enumerate_connected_subsets(const Graph& g, int k, const NodeMask& allowed,
+                            const std::function<bool(const NodeMask&)>& cb,
                             std::uint64_t max_results)
 {
     if (k <= 0 || k > g.num_nodes())
@@ -85,57 +137,57 @@ enumerate_connected_subsets(const Graph& g, int k, NodeMask allowed,
         max_results == UINT64_MAX
             ? UINT64_MAX
             : std::max<std::uint64_t>(1'000'000, max_results * 256);
-    Enumerator e{g, k, allowed, cb, max_results, step_budget};
-    NodeMask todo = allowed;
-    while (todo && !e.stopped) {
-        int root = __builtin_ctzll(todo);
-        todo &= todo - 1;
-        NodeMask rbit = NodeMask{1} << root;
-        // Roots are processed in ascending order; previously processed
-        // roots are excluded so each subset is found from its min node.
-        NodeMask forbidden = (rbit - 1) | rbit;
-        NodeMask ext = g.neighbors(root) & allowed & ~forbidden;
-        e.extend(rbit, ext, forbidden);
+    const int n = g.num_nodes();
+    if (n <= 64) {
+        std::vector<std::uint64_t> adj(n);
+        for (int v = 0; v < n; ++v)
+            adj[v] = g.neighbors(v).word(0);
+        Enumerator<std::uint64_t> e{adj, k, allowed.word(0),
+                                    cb,  max_results, step_budget};
+        return e.run();
     }
-    return e.produced;
+    Enumerator<NodeMask> e{g.adjacency(), k,           allowed,
+                           cb,            max_results, step_budget};
+    return e.run();
 }
 
 std::uint64_t
-count_connected_subsets(const Graph& g, int k, NodeMask allowed,
+count_connected_subsets(const Graph& g, int k, const NodeMask& allowed,
                         std::uint64_t cap)
 {
     return enumerate_connected_subsets(
-        g, k, allowed, [](NodeMask) { return true; }, cap);
+        g, k, allowed, [](const NodeMask&) { return true; }, cap);
 }
 
 std::vector<NodeMask>
-sample_connected_subsets(const Graph& g, int k, NodeMask allowed, int samples,
-                         Rng& rng)
+sample_connected_subsets(const Graph& g, int k, const NodeMask& allowed,
+                         int samples, Rng& rng)
 {
     std::vector<NodeMask> out;
-    if (k <= 0 || __builtin_popcountll(allowed) < k)
+    if (k <= 0 || allowed.count() < k)
         return out;
 
     std::vector<int> seeds = Graph::mask_to_nodes(allowed);
+    std::vector<int> choices;
     for (int s = 0; s < samples; ++s) {
         int seed = seeds[s % seeds.size()];
-        NodeMask sub = NodeMask{1} << seed;
+        NodeMask sub = NodeMask::of(seed);
+        NodeMask frontier = g.neighbors(seed);
         // Randomized growth: repeatedly add a random frontier node.
-        while (__builtin_popcountll(sub) < k) {
-            NodeMask frontier = 0;
-            NodeMask m = sub;
-            while (m) {
-                int v = __builtin_ctzll(m);
-                m &= m - 1;
-                frontier |= g.neighbors(v);
-            }
-            frontier &= allowed & ~sub;
-            if (!frontier)
+        for (int size = 1; size < k; ++size) {
+            frontier = (frontier & allowed).andnot(sub);
+            if (frontier.none()) {
+                sub = NodeMask{};
                 break; // dead end; try next seed
-            std::vector<int> choices = Graph::mask_to_nodes(frontier);
-            sub |= NodeMask{1} << choices[rng.next_below(choices.size())];
+            }
+            choices.clear();
+            for (int v : frontier)
+                choices.push_back(v);
+            int pick = choices[rng.next_below(choices.size())];
+            sub.set(pick);
+            frontier |= g.neighbors(pick);
         }
-        if (__builtin_popcountll(sub) == k)
+        if (sub.count() == k)
             out.push_back(sub);
     }
     std::sort(out.begin(), out.end());

@@ -31,12 +31,13 @@ namespace vnpu::graph {
  * @return the number of subsets reported.
  */
 std::uint64_t enumerate_connected_subsets(
-    const Graph& g, int k, NodeMask allowed,
-    const std::function<bool(NodeMask)>& cb,
+    const Graph& g, int k, const NodeMask& allowed,
+    const std::function<bool(const NodeMask&)>& cb,
     std::uint64_t max_results = UINT64_MAX);
 
 /** Count connected subsets of size k (capped at `cap`). */
-std::uint64_t count_connected_subsets(const Graph& g, int k, NodeMask allowed,
+std::uint64_t count_connected_subsets(const Graph& g, int k,
+                                      const NodeMask& allowed,
                                       std::uint64_t cap = UINT64_MAX);
 
 /**
@@ -45,8 +46,8 @@ std::uint64_t count_connected_subsets(const Graph& g, int k, NodeMask allowed,
  * Duplicates are removed; the result is sorted for reproducibility.
  */
 std::vector<NodeMask> sample_connected_subsets(const Graph& g, int k,
-                                               NodeMask allowed, int samples,
-                                               Rng& rng);
+                                               const NodeMask& allowed,
+                                               int samples, Rng& rng);
 
 /** Binomial coefficient with saturation at UINT64_MAX. */
 std::uint64_t binomial(std::uint64_t n, std::uint64_t k);

@@ -126,10 +126,7 @@ swap_delta(const Graph& req, const Graph& cand, const std::vector<int>& map,
     d += node_cost_of(opt, req.label(b), cand.label(map[a]));
 
     auto edge_terms = [&](int x, int other, int new_img) {
-        NodeMask m = req.neighbors(x);
-        while (m) {
-            int u = __builtin_ctzll(m);
-            m &= m - 1;
+        for (int u : req.neighbors(x)) {
             if (u == other)
                 continue; // edge (a, b): unchanged by the swap
             bool old_matched = cand.has_edge(map[x], map[u]);
@@ -161,10 +158,7 @@ bfs_order(const Graph& g, int start)
     for (std::size_t head = 0; head < queue.size(); ++head) {
         int v = queue[head];
         order.push_back(v);
-        NodeMask m = g.neighbors(v);
-        while (m) {
-            int u = __builtin_ctzll(m);
-            m &= m - 1;
+        for (int u : g.neighbors(v)) {
             if (!seen[u]) {
                 seen[u] = true;
                 queue.push_back(u);

@@ -18,7 +18,7 @@ checked_size(int n)
 
 } // namespace
 
-Graph::Graph(int n) : n_(checked_size(n)), adj_(n_, 0), labels_(n_, 0)
+Graph::Graph(int n) : n_(checked_size(n)), adj_(n_), labels_(n_, 0)
 {
 }
 
@@ -82,23 +82,23 @@ void
 Graph::add_edge(int a, int b)
 {
     VNPU_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b);
-    adj_[a] |= NodeMask{1} << b;
-    adj_[b] |= NodeMask{1} << a;
+    adj_[a].set(b);
+    adj_[b].set(a);
 }
 
 void
 Graph::remove_edge(int a, int b)
 {
     VNPU_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_);
-    adj_[a] &= ~(NodeMask{1} << b);
-    adj_[b] &= ~(NodeMask{1} << a);
+    adj_[a].reset(b);
+    adj_[b].reset(a);
 }
 
 bool
 Graph::has_edge(int a, int b) const
 {
     VNPU_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_);
-    return (adj_[a] >> b) & 1;
+    return adj_[a].test(b);
 }
 
 std::vector<std::pair<int, int>>
@@ -106,12 +106,9 @@ Graph::edges() const
 {
     std::vector<std::pair<int, int>> out;
     for (int a = 0; a < n_; ++a) {
-        NodeMask m = adj_[a] >> (a + 1) << (a + 1);
-        while (m) {
-            int b = __builtin_ctzll(m);
-            m &= m - 1;
+        for (int b = adj_[a].next(a + 1); b < NodeMask::kCapacity;
+             b = adj_[a].next(b + 1))
             out.emplace_back(a, b);
-        }
     }
     return out;
 }
@@ -121,34 +118,30 @@ Graph::is_connected() const
 {
     if (n_ == 0)
         return true;
-    NodeMask all = n_ == 64 ? ~NodeMask{0} : (NodeMask{1} << n_) - 1;
+    NodeMask all = NodeMask::first_n(n_);
     return component_of(0, all) == all;
 }
 
 bool
-Graph::is_connected_subset(NodeMask subset) const
+Graph::is_connected_subset(const NodeMask& subset) const
 {
-    if (subset == 0)
+    if (subset.none())
         return true;
-    int start = __builtin_ctzll(subset);
-    return component_of(start, subset) == subset;
+    return component_of(subset.lowest(), subset) == subset;
 }
 
 NodeMask
-Graph::component_of(int start, NodeMask allowed) const
+Graph::component_of(int start, const NodeMask& allowed) const
 {
     VNPU_ASSERT(start >= 0 && start < n_);
-    NodeMask seen = NodeMask{1} << start;
+    NodeMask seen = NodeMask::of(start);
     NodeMask frontier = seen;
-    while (frontier) {
-        NodeMask next = 0;
-        NodeMask f = frontier;
-        while (f) {
-            int v = __builtin_ctzll(f);
-            f &= f - 1;
+    while (frontier.any()) {
+        NodeMask next;
+        for (int v : frontier)
             next |= adj_[v];
-        }
-        next &= allowed & ~seen;
+        next = next.andnot(seen);
+        next &= allowed;
         seen |= next;
         frontier = next;
     }
@@ -171,13 +164,12 @@ Graph::induced(const std::vector<int>& nodes) const
 }
 
 std::vector<int>
-Graph::mask_to_nodes(NodeMask mask)
+Graph::mask_to_nodes(const NodeMask& mask)
 {
     std::vector<int> out;
-    while (mask) {
-        out.push_back(__builtin_ctzll(mask));
-        mask &= mask - 1;
-    }
+    out.reserve(mask.count());
+    for (int v : mask)
+        out.push_back(v);
     return out;
 }
 
@@ -205,10 +197,7 @@ Graph::wl_hash(int rounds) const
         for (int v = 0; v < n_; ++v) {
             // Order-independent aggregation of neighbor colors.
             std::uint64_t sum = 0, xored = 0;
-            NodeMask m = adj_[v];
-            while (m) {
-                int u = __builtin_ctzll(m);
-                m &= m - 1;
+            for (int u : adj_[v]) {
                 sum += color[u];
                 xored ^= mix(color[u]);
             }

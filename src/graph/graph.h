@@ -1,10 +1,12 @@
 /**
  * @file
- * Small undirected graphs over at most 64 nodes, used for NPU topologies
- * (physical meshes, requested virtual topologies, allocated subgraphs).
+ * Undirected graphs over at most `kMaxCores` (1024) nodes, used for NPU
+ * topologies (physical meshes, requested virtual topologies, allocated
+ * subgraphs).
  *
- * Adjacency is stored as one 64-bit neighbor mask per node, which makes
- * connectivity checks, induced subgraphs and subset enumeration cheap.
+ * Adjacency is stored as one fixed-capacity `CoreSet` neighbor mask per
+ * node, which keeps connectivity checks, induced subgraphs and subset
+ * enumeration cheap while representing DCRA-scale (256+ core) meshes.
  */
 
 #ifndef VNPU_GRAPH_GRAPH_H
@@ -18,18 +20,18 @@
 
 namespace vnpu::graph {
 
-/** Bitmask over graph node ids (bit i <=> node i). */
-using NodeMask = std::uint64_t;
+/** Bit set over graph node ids (bit i <=> node i). */
+using NodeMask = CoreSet;
 
 /**
- * An undirected labelled graph with <= 64 nodes.
+ * An undirected labelled graph with <= kMaxCores nodes.
  *
  * Node labels model heterogeneity (e.g. "close to a memory interface");
  * the default label is 0 (homogeneous).
  */
 class Graph {
   public:
-    /** An empty graph with `n` isolated nodes. @pre 0 <= n <= 64 */
+    /** An empty graph with `n` isolated nodes. @pre 0 <= n <= kMaxCores */
     explicit Graph(int n = 0);
 
     // ---- Builders ---------------------------------------------------
@@ -53,8 +55,10 @@ class Graph {
     bool has_edge(int a, int b) const;
 
     /** Neighbor mask of node v. */
-    NodeMask neighbors(int v) const { return adj_[v]; }
-    int degree(int v) const { return __builtin_popcountll(adj_[v]); }
+    const NodeMask& neighbors(int v) const { return adj_[v]; }
+    /** All neighbor masks, indexed by node id (zero-copy access). */
+    const std::vector<NodeMask>& adjacency() const { return adj_; }
+    int degree(int v) const { return adj_[v].count(); }
 
     /** All edges as (a, b) pairs with a < b. */
     std::vector<std::pair<int, int>> edges() const;
@@ -68,10 +72,10 @@ class Graph {
     bool is_connected() const;
 
     /** True when the nodes in `subset` induce a connected subgraph. */
-    bool is_connected_subset(NodeMask subset) const;
+    bool is_connected_subset(const NodeMask& subset) const;
 
     /** Connected component containing `start`, restricted to `allowed`. */
-    NodeMask component_of(int start, NodeMask allowed) const;
+    NodeMask component_of(int start, const NodeMask& allowed) const;
 
     /**
      * Induced subgraph on `nodes`; new node i corresponds to nodes[i].
@@ -80,7 +84,7 @@ class Graph {
     Graph induced(const std::vector<int>& nodes) const;
 
     /** Node list of a mask in ascending id order. */
-    static std::vector<int> mask_to_nodes(NodeMask mask);
+    static std::vector<int> mask_to_nodes(const NodeMask& mask);
 
     /**
      * Label-aware Weisfeiler-Lehman hash: equal for isomorphic graphs,

@@ -1,6 +1,7 @@
 #include "hyp/hypervisor.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "sim/log.h"
 
@@ -15,6 +16,25 @@ constexpr std::uint64_t kMaxBlock = 16ull << 20;
 /** Smallest buddy block. */
 constexpr std::uint64_t kMinBlock = 64ull << 10;
 
+/**
+ * Memory budget for cached confined-route tables. Each table is an
+ * n*n next-hop matrix sized to the whole mesh (2 MB at 1024 nodes,
+ * 2.6 KB at 36), so the entry cap must scale inversely with mesh
+ * size; unreferenced entries are evicted past the cap, tables still
+ * referenced by live vNPUs are never dropped.
+ */
+constexpr std::size_t kRouteCacheBudgetBytes = 16u << 20;
+
+std::size_t
+route_cache_cap(int num_nodes)
+{
+    std::size_t table_bytes = static_cast<std::size_t>(num_nodes) *
+                              num_nodes * sizeof(std::int16_t);
+    std::size_t cap = kRouteCacheBudgetBytes / std::max<std::size_t>(
+                                                   table_bytes, 1);
+    return std::min<std::size_t>(std::max<std::size_t>(cap, 4), 64);
+}
+
 std::uint64_t
 round_up(std::uint64_t v, std::uint64_t align)
 {
@@ -27,8 +47,7 @@ Hypervisor::Hypervisor(const SocConfig& cfg, const noc::MeshTopology& topo,
                        core::NpuController& ctrl)
     : cfg_(cfg), topo_(topo), ctrl_(ctrl), mapper_(topo), ivr_(ctrl),
       hbm_(0, cfg.hbm_bytes, kMinBlock),
-      free_(topo.num_nodes() == 64 ? ~CoreMask{0}
-                                   : (CoreMask{1} << topo.num_nodes()) - 1)
+      free_(CoreSet::first_n(topo.num_nodes()))
 {
     ctrl_.set_hyper_mode(true);
 }
@@ -68,6 +87,30 @@ Hypervisor::try_compact_rt(VmId vm,
                                               topo_.width());
     }
     return std::nullopt;
+}
+
+std::shared_ptr<const noc::RouteOverride>
+Hypervisor::confined_routes_for(const CoreSet& region)
+{
+    auto it = route_cache_.find(region);
+    if (it != route_cache_.end()) {
+        ++stats_.route_cache_hits;
+        return it->second;
+    }
+    ++stats_.route_cache_misses;
+    const std::size_t cap = route_cache_cap(topo_.num_nodes());
+    // Evict unreferenced tables only until back under the cap, so a
+    // churn working set near the cap keeps most of its entries.
+    for (auto victim = route_cache_.begin();
+         victim != route_cache_.end() && route_cache_.size() >= cap;) {
+        victim = victim->second.use_count() == 1
+                     ? route_cache_.erase(victim)
+                     : std::next(victim);
+    }
+    auto routes = std::make_shared<const noc::RouteOverride>(
+        noc::RouteOverride::build_confined(topo_, region));
+    route_cache_.emplace(region, routes);
+    return routes;
 }
 
 mem::RangeTable
@@ -148,12 +191,11 @@ Hypervisor::create(const VnpuSpec& spec)
 
     // 4. NoC isolation: predefine confining directions when the region
     //    is connected and isolation was requested.
-    CoreMask mask = vnpu->mask();
+    CoreSet mask = vnpu->mask();
     if (spec.noc_isolation) {
         if (!topo_.to_graph().is_connected_subset(mask))
             fatal("isolation requested but region is disconnected");
-        vnpu->set_confined_routes(
-            noc::RouteOverride::build_confined(topo_, mask));
+        vnpu->set_confined_routes(confined_routes_for(mask));
     }
 
     // 5. Memory: buddy blocks -> RTT entries.
@@ -191,7 +233,7 @@ Hypervisor::create(const VnpuSpec& spec)
     ++stats_.vnpus_created;
 
     // 8. Commit the core allocation.
-    free_ &= ~mask;
+    free_ = free_.andnot(mask);
     virt::VirtualNpu& ref = *vnpu;
     vnpus_[vm] = std::move(vnpu);
     return ref;

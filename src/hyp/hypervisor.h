@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/controller.h"
@@ -50,7 +51,9 @@ struct HypervisorStats {
     Counter vnpus_created;
     Counter vnpus_destroyed;
     Counter allocation_failures;
-    Counter setup_cycles;     ///< Accumulated meta-table config cost.
+    Counter setup_cycles;       ///< Accumulated meta-table config cost.
+    Counter route_cache_hits;   ///< Confined routes reused from cache.
+    Counter route_cache_misses; ///< Confined routes built from scratch.
 };
 
 /** Manages all virtual NPUs of one physical chip. */
@@ -72,8 +75,8 @@ class Hypervisor {
     virt::VirtualNpu* find(VmId vm);
     const virt::VirtualNpu* find(VmId vm) const;
 
-    CoreMask free_cores() const { return free_; }
-    int num_free_cores() const { return mask_count(free_); }
+    const CoreSet& free_cores() const { return free_; }
+    int num_free_cores() const { return free_.count(); }
     /** Fraction of physical cores currently allocated. */
     double core_utilization() const;
 
@@ -81,6 +84,10 @@ class Hypervisor {
     Cycles last_setup_cost() const { return last_setup_cost_; }
 
     const HypervisorStats& stats() const { return stats_; }
+    /** Confined-route tables currently cached; bounded by a memory
+     *  budget that scales the entry cap inversely with mesh size
+     *  (kRouteCacheBudgetBytes in hypervisor.cpp). */
+    std::size_t route_cache_size() const { return route_cache_.size(); }
     virt::InstVRouter& inst_vrouter() { return ivr_; }
     const TopologyMapper& mapper() const { return mapper_; }
 
@@ -95,6 +102,15 @@ class Hypervisor {
     std::optional<virt::RoutingTable>
     try_compact_rt(VmId vm, const std::vector<CoreId>& assignment) const;
 
+    /**
+     * Confined routes for `region`, built on first use and cached by
+     * region set thereafter: the MIG comparison sweeps allocate the
+     * same regions over and over, and a 1024-node next-hop matrix is
+     * ~2 MB of BFS work per build.
+     */
+    std::shared_ptr<const noc::RouteOverride>
+    confined_routes_for(const CoreSet& region);
+
     mem::RangeTable build_range_table(VmId vm, std::uint64_t bytes);
 
     const SocConfig& cfg_;
@@ -103,7 +119,10 @@ class Hypervisor {
     TopologyMapper mapper_;
     virt::InstVRouter ivr_;
     mem::BuddyAllocator hbm_;
-    CoreMask free_;
+    CoreSet free_;
+    /** Confined-route tables keyed by region (kept across destroys). */
+    std::unordered_map<CoreSet, std::shared_ptr<const noc::RouteOverride>>
+        route_cache_;
     VmId next_vm_ = 1;
     Cycles last_setup_cost_ = 0;
     HypervisorStats stats_;

@@ -128,13 +128,13 @@ MigPartitioner::create(int num_cores, std::uint64_t memory_bytes)
     rtt.finalize();
     vnpu->set_range_table(std::move(rtt));
 
-    CoreMask mask = vnpu->mask();
+    CoreSet mask = vnpu->mask();
     int ifaces = topo_.interfaces_of(mask, cfg_.hbm_channels);
     vnpu->set_interfaces(ifaces);
     vnpu->set_bandwidth_cap(cfg_.hbm_bytes_per_cycle * ifaces /
                             cfg_.hbm_channels);
 
-    ctrl_.configure_routing_table(vm, num_cores);
+    setup_cycles_ += ctrl_.configure_routing_table(vm, num_cores);
     ctrl_.deploy_meta_bytes(vm, rt.storage_bits() / 8 +
                                     vnpu->range_table().footprint_bytes());
 
@@ -178,7 +178,7 @@ MigPartitioner::wasted_cores() const
         if (!parts_[i].in_use)
             continue;
         // Cores in the partition not hosting any virtual core.
-        CoreMask used = 0;
+        CoreSet used;
         for (const auto& [vm, idx] : vm_partition_) {
             if (idx == static_cast<int>(i))
                 used |= vnpus_.at(vm)->mask();

@@ -63,6 +63,9 @@ class MigPartitioner {
     /** Physical cores wasted by the current allocations. */
     int wasted_cores() const;
 
+    /** Accumulated meta-table configuration cost across create()s. */
+    Cycles setup_cycles() const { return setup_cycles_; }
+
   private:
     /** Boustrophedon core order inside a partition rectangle. */
     std::vector<CoreId> snake_cores(const MigPartition& p) const;
@@ -73,6 +76,7 @@ class MigPartitioner {
     std::vector<MigPartition> parts_;
     mem::BuddyAllocator hbm_;
     VmId next_vm_ = 1;
+    Cycles setup_cycles_ = 0;
     std::map<VmId, std::unique_ptr<virt::VirtualNpu>> vnpus_;
     std::map<VmId, int> vm_partition_;
     std::map<VmId, std::vector<Addr>> blocks_;

@@ -55,12 +55,12 @@ TopologyMapper::snake_topology(int n)
 }
 
 MappingResult
-TopologyMapper::map(const MappingRequest& req, CoreMask free_cores) const
+TopologyMapper::map(const MappingRequest& req, const CoreSet& free_cores) const
 {
     const int k = req.vtopo.num_nodes();
     if (k <= 0)
         return {false, {}, 0.0, 0, "empty request"};
-    if (mask_count(free_cores) < k)
+    if (free_cores.count() < k)
         return {false, {}, 0.0, 0, "not enough free cores"};
 
     switch (req.strategy) {
@@ -77,7 +77,8 @@ TopologyMapper::map(const MappingRequest& req, CoreMask free_cores) const
 }
 
 std::vector<graph::NodeMask>
-TopologyMapper::collect_candidates(const MappingRequest& req, CoreMask free,
+TopologyMapper::collect_candidates(const MappingRequest& req,
+                                   const CoreSet& free,
                                    std::uint64_t* seen) const
 {
     const int k = req.vtopo.num_nodes();
@@ -88,14 +89,14 @@ TopologyMapper::collect_candidates(const MappingRequest& req, CoreMask free,
     std::uint64_t considered = 0;
 
     // Whole-free-set request: exactly one candidate exists.
-    if (k == mask_count(free)) {
+    if (k == free.count()) {
         if (mesh.is_connected_subset(free))
             candidates.push_back(free);
         *seen = 1;
         return candidates;
     }
 
-    auto consider = [&](graph::NodeMask m) {
+    auto consider = [&](const graph::NodeMask& m) {
         ++considered;
         graph::Graph sub = mesh.induced(graph::Graph::mask_to_nodes(m));
         if (!topo_hashes.insert(sub.wl_hash()).second)
@@ -106,7 +107,7 @@ TopologyMapper::collect_candidates(const MappingRequest& req, CoreMask free,
     };
 
     // Exact enumeration while cheap; otherwise deterministic sampling.
-    std::uint64_t space = graph::binomial(mask_count(free), k);
+    std::uint64_t space = graph::binomial(free.count(), k);
     if (space <= 200000) {
         graph::enumerate_connected_subsets(mesh, k, free, consider,
                                            req.max_candidates * 512);
@@ -116,7 +117,7 @@ TopologyMapper::collect_candidates(const MappingRequest& req, CoreMask free,
         Rng rng(0x5eed + static_cast<std::uint64_t>(k));
         auto sampled = graph::sample_connected_subsets(
             mesh, k, free, static_cast<int>(req.max_candidates) * 4, rng);
-        for (graph::NodeMask m : sampled) {
+        for (const graph::NodeMask& m : sampled) {
             if (candidates.size() >=
                 static_cast<std::size_t>(req.max_candidates) * 2)
                 break;
@@ -155,15 +156,15 @@ TopologyMapper::refine_wirelength(const graph::Graph& vtopo,
     std::uint64_t best_wl = wirelength(vtopo, best);
     for (CoreId start : starts) {
         std::vector<CoreId> greedy(n, kInvalidCore);
-        CoreMask used = 0;
+        CoreSet used;
         CoreId cur = start;
         greedy[0] = cur;
-        used |= core_bit(cur);
+        used.set(cur);
         for (int v = 1; v < n; ++v) {
             CoreId next = kInvalidCore;
             int next_d = INT32_MAX;
             for (CoreId c : region) {
-                if (used & core_bit(c))
+                if (used.test(c))
                     continue;
                 int d = topo_.hop_distance(cur, c);
                 if (d < next_d || (d == next_d && c < next)) {
@@ -172,7 +173,7 @@ TopologyMapper::refine_wirelength(const graph::Graph& vtopo,
                 }
             }
             greedy[v] = next;
-            used |= core_bit(next);
+            used.set(next);
             cur = next;
         }
         std::uint64_t wl = wirelength(vtopo, greedy);
@@ -187,10 +188,7 @@ TopologyMapper::refine_wirelength(const graph::Graph& vtopo,
         // Change in wirelength if virtual nodes a and b swap cores.
         std::int64_t d = 0;
         auto edge_terms = [&](int x, int other, CoreId new_core) {
-            graph::NodeMask m = vtopo.neighbors(x);
-            while (m) {
-                int u = __builtin_ctzll(m);
-                m &= m - 1;
+            for (int u : vtopo.neighbors(x)) {
                 if (u == other)
                     continue; // the a-b edge is swap-invariant
                 d -= topo_.hop_distance(assignment[x], assignment[u]);
@@ -217,14 +215,64 @@ TopologyMapper::refine_wirelength(const graph::Graph& vtopo,
 }
 
 MappingResult
-TopologyMapper::map_exact(const MappingRequest& req, CoreMask free) const
+TopologyMapper::map_exact(const MappingRequest& req, const CoreSet& free) const
 {
     MappingResult res;
     std::uint64_t seen = 0;
-    graph::Graph mesh = topo_.to_graph();
     std::uint64_t req_hash = req.vtopo.wl_hash();
 
-    for (graph::NodeMask m : collect_candidates(req, free, &seen)) {
+    // Mesh-shaped requests (the dominant case) are matched by sliding
+    // the rectangle over the physical mesh. At DCRA scale the sampled
+    // candidate set below cannot cover the space, so without this the
+    // exact strategy would fail on a completely free 256-core chip.
+    const int k = req.vtopo.num_nodes();
+    for (int vw = 1; vw <= k; ++vw) {
+        if (k % vw != 0)
+            continue;
+        const int vh = k / vw;
+        if (vw > topo_.width() || vh > topo_.height())
+            continue;
+        graph::Graph rect = graph::Graph::mesh(vw, vh);
+        if (rect.wl_hash() != req_hash)
+            continue;
+        // The anchored rectangle induces exactly mesh(vw, vh), so the
+        // identity (row-major) correspondence works for any anchor iff
+        // it is zero-cost against the canonical rectangle.
+        std::vector<int> identity(k);
+        for (int v = 0; v < k; ++v)
+            identity[v] = v;
+        if (graph::ged_mapping_cost(req.vtopo, rect, identity,
+                                    req.ged) != 0.0)
+            continue;
+        for (int ay = 0; ay + vh <= topo_.height(); ++ay) {
+            for (int ax = 0; ax + vw <= topo_.width(); ++ax) {
+                ++seen;
+                bool fits = true;
+                for (int r = 0; r < vh && fits; ++r)
+                    for (int c = 0; c < vw && fits; ++c)
+                        fits = free.test(topo_.id_of(ax + c, ay + r));
+                if (!fits)
+                    continue;
+                res.ok = true;
+                res.ted = 0.0;
+                res.assignment.resize(k);
+                for (int v = 0; v < k; ++v)
+                    res.assignment[v] =
+                        topo_.id_of(ax + v % vw, ay + v / vw);
+                res.candidates_considered = seen;
+                return res;
+            }
+        }
+    }
+
+    // The mesh graph is only needed by the candidate fallback; the
+    // fast path above returns without paying for it.
+    graph::Graph mesh = topo_.to_graph();
+    // `seen` so far counts rectangle anchors; collect_candidates
+    // overwrites its out-param, so accumulate the two phases.
+    std::uint64_t cand_seen = 0;
+    for (const graph::NodeMask& m :
+         collect_candidates(req, free, &cand_seen)) {
         std::vector<int> nodes = graph::Graph::mask_to_nodes(m);
         graph::Graph sub = mesh.induced(nodes);
         if (sub.wl_hash() != req_hash)
@@ -236,18 +284,18 @@ TopologyMapper::map_exact(const MappingRequest& req, CoreMask free) const
             res.assignment.resize(nodes.size());
             for (int v = 0; v < req.vtopo.num_nodes(); ++v)
                 res.assignment[v] = nodes[g.mapping[v]];
-            res.candidates_considered = seen;
+            res.candidates_considered = seen + cand_seen;
             return res;
         }
     }
     res.error = "no exact topology match available (topology lock-in)";
-    res.candidates_considered = seen;
+    res.candidates_considered = seen + cand_seen;
     return res;
 }
 
 MappingResult
 TopologyMapper::map_straightforward(const MappingRequest& req,
-                                    CoreMask free) const
+                                    const CoreSet& free) const
 {
     const int k = req.vtopo.num_nodes();
     std::vector<int> nodes = graph::Graph::mask_to_nodes(free);
@@ -269,7 +317,7 @@ TopologyMapper::map_straightforward(const MappingRequest& req,
 }
 
 MappingResult
-TopologyMapper::map_similar(const MappingRequest& req, CoreMask free,
+TopologyMapper::map_similar(const MappingRequest& req, const CoreSet& free,
                             bool allow_fragmented) const
 {
     const int k = req.vtopo.num_nodes();
@@ -284,7 +332,7 @@ TopologyMapper::map_similar(const MappingRequest& req, CoreMask free,
     res.candidates_considered = seen;
 
     double best = std::numeric_limits<double>::infinity();
-    for (graph::NodeMask m : candidates) {
+    for (const graph::NodeMask& m : candidates) {
         std::vector<int> nodes = graph::Graph::mask_to_nodes(m);
         graph::Graph sub = mesh.induced(nodes);
 
@@ -333,19 +381,19 @@ TopologyMapper::map_similar(const MappingRequest& req, CoreMask free,
     int seed = free_nodes.front();
     int best_deg = -1;
     for (int v : free_nodes) {
-        int deg = __builtin_popcountll(mesh.neighbors(v) & free);
+        int deg = (mesh.neighbors(v) & free).count();
         if (deg > best_deg) {
             best_deg = deg;
             seed = v;
         }
     }
     std::vector<int> chosen{seed};
-    CoreMask chosen_mask = core_bit(seed);
+    CoreSet chosen_mask = core_bit(seed);
     while (static_cast<int>(chosen.size()) < k) {
         int next = kInvalidCore;
         int next_dist = INT32_MAX;
         for (int v : free_nodes) {
-            if (chosen_mask & core_bit(v))
+            if (chosen_mask.test(v))
                 continue;
             int d = INT32_MAX;
             for (int c : chosen)
@@ -357,7 +405,7 @@ TopologyMapper::map_similar(const MappingRequest& req, CoreMask free,
         }
         VNPU_ASSERT(next != kInvalidCore);
         chosen.push_back(next);
-        chosen_mask |= core_bit(next);
+        chosen_mask.set(next);
     }
     std::sort(chosen.begin(), chosen.end());
     graph::Graph sub = mesh.induced(chosen);

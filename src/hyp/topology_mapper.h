@@ -70,8 +70,9 @@ class TopologyMapper {
   public:
     explicit TopologyMapper(const noc::MeshTopology& topo);
 
-    /** Run the requested strategy against the free-core mask. */
-    MappingResult map(const MappingRequest& req, CoreMask free_cores) const;
+    /** Run the requested strategy against the free-core set. */
+    MappingResult map(const MappingRequest& req,
+                      const CoreSet& free_cores) const;
 
     /**
      * Build a near-square mesh-ish request topology for `n` cores with
@@ -92,13 +93,15 @@ class TopologyMapper {
                              const std::vector<CoreId>& assignment) const;
 
   private:
-    MappingResult map_exact(const MappingRequest& req, CoreMask free) const;
+    MappingResult map_exact(const MappingRequest& req,
+                            const CoreSet& free) const;
     MappingResult map_straightforward(const MappingRequest& req,
-                                      CoreMask free) const;
-    MappingResult map_similar(const MappingRequest& req, CoreMask free,
+                                      const CoreSet& free) const;
+    MappingResult map_similar(const MappingRequest& req, const CoreSet& free,
                               bool allow_fragmented) const;
     std::vector<graph::NodeMask> collect_candidates(
-        const MappingRequest& req, CoreMask free, std::uint64_t* seen) const;
+        const MappingRequest& req, const CoreSet& free,
+        std::uint64_t* seen) const;
 
     /** 2-opt swaps of the assignment minimizing wirelength. */
     void refine_wirelength(const graph::Graph& vtopo,

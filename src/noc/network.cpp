@@ -8,22 +8,20 @@
 namespace vnpu::noc {
 
 RouteOverride
-RouteOverride::build_confined(const MeshTopology& topo, CoreMask region)
+RouteOverride::build_confined(const MeshTopology& topo, const CoreSet& region)
 {
     const int n = topo.num_nodes();
-    if (n > kMaxCores)
-        fatal("route override: mesh has ", n, " nodes but CoreMask regions",
-              " support at most ", kMaxCores);
-
     RouteOverride ov;
     ov.nodes_ = n;
     ov.next_.assign(static_cast<std::size_t>(n) * n,
                     static_cast<std::int16_t>(kInvalidCore));
 
     std::vector<int> nodes;
-    for (int id = 0; id < n; ++id)
-        if (region & core_bit(id))
-            nodes.push_back(id);
+    nodes.reserve(region.count());
+    for (int id : region) {
+        VNPU_ASSERT(id < n);
+        nodes.push_back(id);
+    }
 
     // BFS from each destination over region-internal links; parent
     // pointers give the next hop toward that destination. The scratch
@@ -41,7 +39,7 @@ RouteOverride::build_confined(const MeshTopology& topo, CoreMask region)
             for (Direction d : {Direction::kEast, Direction::kWest,
                                 Direction::kNorth, Direction::kSouth}) {
                 int u = topo.neighbor(v, d);
-                if (u == kInvalidCore || !(region & core_bit(u)))
+                if (u == kInvalidCore || !region.test(u))
                     continue;
                 if (dist[u] == -1) {
                     dist[u] = dist[v] + 1;
@@ -60,7 +58,7 @@ RouteOverride::build_confined(const MeshTopology& topo, CoreMask region)
             for (Direction d : {Direction::kEast, Direction::kWest,
                                 Direction::kNorth, Direction::kSouth}) {
                 int u = topo.neighbor(cur, d);
-                if (u == kInvalidCore || !(region & core_bit(u)))
+                if (u == kInvalidCore || !region.test(u))
                     continue;
                 if (dist[u] == dist[cur] - 1 &&
                     (best == kInvalidCore || u < best)) {

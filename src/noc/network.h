@@ -66,7 +66,7 @@ class RouteOverride {
      * @pre `region` induces a connected subgraph of the mesh.
      */
     static RouteOverride build_confined(const MeshTopology& topo,
-                                        CoreMask region);
+                                        const CoreSet& region);
 
   private:
     std::vector<std::int16_t> next_;

@@ -91,15 +91,16 @@ MeshTopology::channel_of(int id, int channels) const
 }
 
 int
-MeshTopology::interfaces_of(CoreMask cores, int channels) const
+MeshTopology::interfaces_of(const CoreSet& cores, int channels) const
 {
-    std::uint32_t seen = 0;
-    while (cores) {
-        int id = __builtin_ctzll(cores);
-        cores &= cores - 1;
-        seen |= 1u << channel_of(id, channels);
-    }
-    return __builtin_popcount(seen);
+    // One bit per channel in the u64 accumulator; channel counts
+    // beyond 64 would alias silently, so reject them outright.
+    if (channels <= 0 || channels > 64)
+        fatal("interfaces_of supports 1..64 channels, got ", channels);
+    std::uint64_t seen = 0;
+    for (int id : cores)
+        seen |= std::uint64_t{1} << channel_of(id, channels);
+    return __builtin_popcountll(seen);
 }
 
 std::vector<int>

@@ -27,11 +27,11 @@ enum class Direction : std::uint8_t {
 const char* to_string(Direction d);
 
 /**
- * Largest mesh the pure-topology model supports (routing, link timing).
- * APIs that take a `CoreMask` region (confined routes, interface
- * counting, the virtualization stack) remain limited to `kMaxCores`.
+ * Largest mesh the model supports, end to end: routing, link timing,
+ * and every `CoreSet` region API (confined routes, interface counting,
+ * the virtualization stack) all handle meshes up to this size.
  */
-inline constexpr int kMaxMeshNodes = 1024;
+inline constexpr int kMaxMeshNodes = CoreSet::kCapacity;
 
 /**
  * A W x H 2D mesh of NPU cores. Node (x, y) has id y*W + x; row 0 is the
@@ -83,7 +83,7 @@ class MeshTopology {
      * the paper allocates bandwidth proportional to the number of
      * memory interfaces associated with a virtual NPU.
      */
-    int interfaces_of(CoreMask cores, int channels) const;
+    int interfaces_of(const CoreSet& cores, int channels) const;
 
     /**
      * Per-node "distance to nearest memory interface" labels, used as

@@ -55,11 +55,14 @@ SocConfig::validate() const
     if (mesh_x <= 0 || mesh_y <= 0)
         fatal("mesh dimensions must be positive: ", mesh_x, "x", mesh_y);
     if (num_cores() > kMaxCores)
-        fatal("at most ", kMaxCores, " cores supported, got ", num_cores());
+        fatal("at most ", kMaxCores, " cores supported, got ",
+              num_cores());
     if (sa_dim <= 0 || vector_lanes <= 0)
         fatal("compute unit dimensions must be positive");
     if (hbm_channels <= 0)
         fatal("need at least one HBM channel");
+    if (hbm_channels > 64)
+        fatal("at most 64 HBM channels supported, got ", hbm_channels);
     if (link_bytes_per_cycle <= 0 || hbm_bytes_per_cycle <= 0)
         fatal("bandwidths must be positive");
     if (packet_bytes == 0 || dma_burst_bytes == 0 || page_bytes == 0)

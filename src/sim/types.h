@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "sim/core_set.h"
+
 namespace vnpu {
 
 /** Simulated time, measured in NPU clock cycles. */
@@ -35,17 +37,18 @@ inline constexpr VmId kNoVm = -1;
 /** Sentinel tick meaning "never" / unset. */
 inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
 
-/** Maximum number of physical cores supported (bitmask sets). */
-inline constexpr int kMaxCores = 64;
+/**
+ * Maximum number of physical cores supported across the whole stack
+ * (graph nodes, core regions, the virtualization layers). Matches the
+ * topology model's `noc::kMaxMeshNodes`.
+ */
+inline constexpr int kMaxCores = CoreSet::kCapacity;
 
-/** Bitmask over physical core ids (bit i <=> core i). */
-using CoreMask = std::uint64_t;
+/** Convenience: the singleton set for one core. */
+constexpr CoreSet core_bit(CoreId id) { return CoreSet::of(id); }
 
-/** Convenience: bit for one core. */
-constexpr CoreMask core_bit(CoreId id) { return CoreMask{1} << id; }
-
-/** Number of cores in a mask. */
-constexpr int mask_count(CoreMask m) { return __builtin_popcountll(m); }
+/** Number of cores in a set. */
+constexpr int mask_count(const CoreSet& m) { return m.count(); }
 
 /** Kilo/Mega/Giga byte literals. */
 constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }

@@ -29,25 +29,22 @@ VirtualNpu::phys_of(CoreId vcore) const
     return cores_[vcore];
 }
 
-CoreMask
+CoreSet
 VirtualNpu::mask() const
 {
-    CoreMask m = 0;
-    for (CoreId c : cores_)
-        m |= core_bit(c);
-    return m;
+    return CoreSet::from_range(cores_);
 }
 
 void
-VirtualNpu::set_confined_routes(noc::RouteOverride routes)
+VirtualNpu::set_confined_routes(std::shared_ptr<const noc::RouteOverride> r)
 {
-    confined_ = std::move(routes);
+    confined_ = std::move(r);
 }
 
 const noc::RouteOverride*
 VirtualNpu::confined_routes() const
 {
-    return confined_ ? &*confined_ : nullptr;
+    return confined_.get();
 }
 
 void

@@ -38,8 +38,8 @@ class VirtualNpu {
     /** All physical cores in virtual-id order. */
     const std::vector<CoreId>& cores() const { return cores_; }
 
-    /** Bitmask of occupied physical cores. */
-    CoreMask mask() const;
+    /** Set of occupied physical cores. */
+    CoreSet mask() const;
 
     /** The virtual topology the tenant sees. */
     const graph::Graph& vtopo() const { return vtopo_; }
@@ -47,11 +47,15 @@ class VirtualNpu {
     const RoutingTable& routing_table() const { return rt_; }
 
     // ---- NoC isolation -------------------------------------------------
-    /** Install confined routing directions (hypervisor). */
-    void set_confined_routes(noc::RouteOverride routes);
+    /**
+     * Install confined routing directions (hypervisor). Shared: the
+     * hypervisor caches overrides per region, so several vNPU
+     * generations may reference one table.
+     */
+    void set_confined_routes(std::shared_ptr<const noc::RouteOverride> r);
     /** Confined routes or nullptr (default DOR). */
     const noc::RouteOverride* confined_routes() const;
-    bool isolated() const { return confined_.has_value(); }
+    bool isolated() const { return confined_ != nullptr; }
 
     // ---- Memory ----------------------------------------------------------
     /** Attach the VM-level RTT image (must be finalized). */
@@ -88,7 +92,7 @@ class VirtualNpu {
     std::vector<CoreId> cores_;
     graph::Graph vtopo_;
     RoutingTable rt_;
-    std::optional<noc::RouteOverride> confined_;
+    std::shared_ptr<const noc::RouteOverride> confined_;
     mem::RangeTable rtt_;
     double bw_cap_ = 0.0;
     int interfaces_ = 0;

@@ -131,7 +131,7 @@ class SeedRouteOverride {
     std::size_t size() const { return next_.size(); }
 
     static SeedRouteOverride
-    build_confined(const noc::MeshTopology& topo, CoreMask region)
+    build_confined(const noc::MeshTopology& topo, const CoreSet& region)
     {
         using noc::Direction;
         SeedRouteOverride ov;

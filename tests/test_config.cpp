@@ -67,7 +67,10 @@ TEST(ConfigValidationTest, RejectsBadMesh)
     EXPECT_THROW(c.validate(), SimFatal);
     c = SocConfig::Fpga();
     c.mesh_x = 9;
-    c.mesh_y = 9; // 81 cores > 64-core cap
+    c.mesh_y = 9; // 81 cores: beyond the old u64 cap, valid now
+    EXPECT_NO_THROW(c.validate());
+    c.mesh_x = 64;
+    c.mesh_y = 17; // 1088 cores > CoreSet capacity
     EXPECT_THROW(c.validate(), SimFatal);
 }
 

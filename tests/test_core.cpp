@@ -190,6 +190,47 @@ TEST(NpuCoreTest, PipelinedIterationsOverlap)
     EXPECT_GT(st1.iter_latency.count(), 0u);
 }
 
+TEST(NpuCoreTest, LongProgramDeliveryFindsConsumingContext)
+{
+    // Two VMs' contexts share the receiving core, each with a long
+    // program of distinct tags. All messages land while the receivers
+    // are still computing, so every delivery must locate its consuming
+    // context through the per-context tag index (the old code rescanned
+    // the program text per delivery - quadratic in program length).
+    const int n = 400;
+    Machine m(small_cfg());
+    Program send_a, send_b, recv_a, recv_b;
+    recv_a.push_back(Instr::matmul(128, 128, 128)); // 9232 cycles busy
+    recv_b.push_back(Instr::matmul(128, 128, 128));
+    for (int i = 0; i < n; ++i) {
+        send_a.push_back(Instr::send(2, 64, 1000 + i));
+        recv_a.push_back(Instr::recv(0, 64, 1000 + i));
+        // VM b reuses the same numeric tags: the vm filter must keep
+        // the streams apart.
+        send_b.push_back(Instr::send(2, 64, 1000 + i));
+        recv_b.push_back(Instr::recv(1, 64, 1000 + i));
+    }
+    send_a.push_back(Instr::halt());
+    send_b.push_back(Instr::halt());
+    recv_a.push_back(Instr::halt());
+    recv_b.push_back(Instr::halt());
+
+    ContextConfig va, vb;
+    va.vm = 1;
+    vb.vm = 2;
+    m.core(0).add_context(send_a, va);
+    m.core(1).add_context(send_b, vb);
+    m.core(2).add_context(recv_a, va);
+    m.core(2).add_context(recv_b, vb);
+    m.run();
+    const ContextStats& sa = m.core(2).context_stats(0);
+    const ContextStats& sb = m.core(2).context_stats(1);
+    EXPECT_TRUE(sa.done);
+    EXPECT_TRUE(sb.done);
+    EXPECT_EQ(sa.instructions, static_cast<std::uint64_t>(n + 2));
+    EXPECT_EQ(sb.instructions, static_cast<std::uint64_t>(n + 2));
+}
+
 TEST(NpuCoreTest, TdmContextsSerialize)
 {
     // The same compute twice: once as two contexts on one core (TDM),

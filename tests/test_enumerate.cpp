@@ -18,7 +18,7 @@ namespace {
 
 /** Brute force: all k-subsets of `allowed` that induce a connected set. */
 std::set<NodeMask>
-brute_force(const Graph& g, int k, NodeMask allowed)
+brute_force(const Graph& g, int k, const NodeMask& allowed)
 {
     std::vector<int> nodes = Graph::mask_to_nodes(allowed);
     std::set<NodeMask> out;
@@ -30,9 +30,9 @@ brute_force(const Graph& g, int k, NodeMask allowed)
     if (k > n)
         return out;
     while (true) {
-        NodeMask m = 0;
+        NodeMask m;
         for (int i : idx)
-            m |= NodeMask{1} << nodes[i];
+            m.set(nodes[i]);
         if (g.is_connected_subset(m))
             out.insert(m);
         // next combination
@@ -51,7 +51,7 @@ brute_force(const Graph& g, int k, NodeMask allowed)
 NodeMask
 full_mask(int n)
 {
-    return n == 64 ? ~NodeMask{0} : (NodeMask{1} << n) - 1;
+    return NodeMask::first_n(n);
 }
 
 TEST(EnumerateTest, MatchesBruteForceOnMesh3x3)
@@ -60,10 +60,11 @@ TEST(EnumerateTest, MatchesBruteForceOnMesh3x3)
     for (int k = 1; k <= 6; ++k) {
         std::set<NodeMask> expected = brute_force(g, k, full_mask(9));
         std::set<NodeMask> got;
-        enumerate_connected_subsets(g, k, full_mask(9), [&](NodeMask m) {
-            EXPECT_TRUE(got.insert(m).second) << "duplicate subset";
-            return true;
-        });
+        enumerate_connected_subsets(
+            g, k, full_mask(9), [&](const NodeMask& m) {
+                EXPECT_TRUE(got.insert(m).second) << "duplicate subset";
+                return true;
+            });
         EXPECT_EQ(got, expected) << "k=" << k;
     }
 }
@@ -72,15 +73,16 @@ TEST(EnumerateTest, MatchesBruteForceWithRestrictedAllowedSet)
 {
     Graph g = Graph::mesh(4, 3);
     // Exclude two cores, as if already allocated to another vNPU.
-    NodeMask allowed = full_mask(12) & ~(NodeMask{1} << 0) &
-                       ~(NodeMask{1} << 7);
+    NodeMask allowed =
+        full_mask(12).andnot(NodeMask::of(0)).andnot(NodeMask::of(7));
     for (int k = 2; k <= 5; ++k) {
         std::set<NodeMask> expected = brute_force(g, k, allowed);
         std::set<NodeMask> got;
-        enumerate_connected_subsets(g, k, allowed, [&](NodeMask m) {
-            got.insert(m);
-            return true;
-        });
+        enumerate_connected_subsets(g, k, allowed,
+                                    [&](const NodeMask& m) {
+                                        got.insert(m);
+                                        return true;
+                                    });
         EXPECT_EQ(got, expected) << "k=" << k;
     }
 }
@@ -108,7 +110,7 @@ TEST(EnumerateTest, MaxResultsStopsEarly)
     std::uint64_t seen = 0;
     std::uint64_t produced = enumerate_connected_subsets(
         g, 4, full_mask(16),
-        [&](NodeMask) {
+        [&](const NodeMask&) {
             ++seen;
             return true;
         },
@@ -121,10 +123,11 @@ TEST(EnumerateTest, CallbackFalseStops)
 {
     Graph g = Graph::mesh(4, 4);
     std::uint64_t seen = 0;
-    enumerate_connected_subsets(g, 3, full_mask(16), [&](NodeMask) {
-        ++seen;
-        return seen < 5;
-    });
+    enumerate_connected_subsets(g, 3, full_mask(16),
+                                [&](const NodeMask&) {
+                                    ++seen;
+                                    return seen < 5;
+                                });
     EXPECT_EQ(seen, 5u);
 }
 
@@ -145,8 +148,8 @@ TEST(SampleTest, SamplesAreConnectedAndCorrectSize)
     Rng rng(99);
     auto samples = sample_connected_subsets(g, 9, full_mask(25), 64, rng);
     EXPECT_FALSE(samples.empty());
-    for (NodeMask m : samples) {
-        EXPECT_EQ(__builtin_popcountll(m), 9);
+    for (const NodeMask& m : samples) {
+        EXPECT_EQ(m.count(), 9);
         EXPECT_TRUE(g.is_connected_subset(m));
     }
     // Deduplicated and sorted.

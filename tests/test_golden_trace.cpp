@@ -175,9 +175,9 @@ TEST(GoldenRouteOverrideTest, DenseTableMatchesSeedMap)
 {
     MeshTopology topo(8, 8);
     // L-shaped, rectangular, single-row and near-full regions.
-    std::vector<CoreMask> regions;
+    std::vector<CoreSet> regions;
     {
-        CoreMask l = 0;
+        CoreSet l;
         for (int y = 0; y < 6; ++y)
             l |= core_bit(topo.id_of(0, y));
         for (int x = 0; x < 5; ++x)
@@ -185,21 +185,21 @@ TEST(GoldenRouteOverrideTest, DenseTableMatchesSeedMap)
         regions.push_back(l);
     }
     {
-        CoreMask rect = 0;
+        CoreSet rect;
         for (int y = 2; y < 6; ++y)
             for (int x = 3; x < 8; ++x)
                 rect |= core_bit(topo.id_of(x, y));
         regions.push_back(rect);
     }
     {
-        CoreMask row = 0;
+        CoreSet row;
         for (int x = 0; x < 8; ++x)
             row |= core_bit(topo.id_of(x, 1));
         regions.push_back(row);
     }
-    regions.push_back(~CoreMask{0}); // all 64 cores
+    regions.push_back(CoreSet::first_n(64)); // all 64 cores
 
-    for (CoreMask region : regions) {
+    for (const CoreSet& region : regions) {
         RouteOverride fast = RouteOverride::build_confined(topo, region);
         seed::SeedRouteOverride ref =
             seed::SeedRouteOverride::build_confined(topo, region);
@@ -217,7 +217,7 @@ TEST(GoldenRouteOverrideTest, ConfinedSendsMatchSeed)
     cfg.mesh_x = 8;
     cfg.mesh_y = 8;
     MeshTopology topo(8, 8);
-    CoreMask region = 0;
+    CoreSet region;
     for (int y = 0; y < 4; ++y)
         for (int x = 0; x < 3; ++x)
             region |= core_bit(topo.id_of(x, y));

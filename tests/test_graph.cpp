@@ -73,12 +73,13 @@ TEST(GraphTest, ConnectedSubsetQueries)
 {
     Graph g = Graph::mesh(3, 3);
     // L-shaped region 0-1-2-5 is connected.
-    NodeMask l_shape = 0b100111;
+    NodeMask l_shape = NodeMask::from_word(0b100111);
     EXPECT_TRUE(g.is_connected_subset(l_shape));
     // Two opposite corners are not.
-    NodeMask corners = (NodeMask{1} << 0) | (NodeMask{1} << 8);
+    NodeMask corners = NodeMask::of(0) | NodeMask::of(8);
     EXPECT_FALSE(g.is_connected_subset(corners));
-    EXPECT_TRUE(g.is_connected_subset(0)); // empty set trivially connected
+    // The empty set is trivially connected.
+    EXPECT_TRUE(g.is_connected_subset(NodeMask{}));
 }
 
 TEST(GraphTest, InducedSubgraphKeepsEdgesAndLabels)
@@ -95,7 +96,7 @@ TEST(GraphTest, InducedSubgraphKeepsEdgesAndLabels)
 
 TEST(GraphTest, MaskToNodesAscending)
 {
-    auto nodes = Graph::mask_to_nodes(0b101001);
+    auto nodes = Graph::mask_to_nodes(NodeMask::from_word(0b101001));
     EXPECT_EQ(nodes, (std::vector<int>{0, 3, 5}));
 }
 
@@ -112,7 +113,11 @@ TEST(GraphTest, EdgesListMatchesHasEdge)
 
 TEST(GraphTest, RejectsOversizedGraph)
 {
-    EXPECT_THROW(Graph(65), SimFatal);
+    // 65 nodes (the old u64-mask cap + 1) is now fine; the CoreSet
+    // capacity is the only limit.
+    EXPECT_NO_THROW(Graph(65));
+    EXPECT_NO_THROW(Graph(kMaxCores));
+    EXPECT_THROW(Graph(kMaxCores + 1), SimFatal);
     EXPECT_THROW(Graph(-1), SimFatal);
 }
 

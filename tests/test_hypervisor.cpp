@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "hyp/hypervisor.h"
 #include "hyp/mig.h"
@@ -86,7 +88,7 @@ TEST(HypervisorTest, MultiTenantAllocationsAreDisjoint)
     spec.memory_bytes = 16ull << 20;
     virt::VirtualNpu& a = hv.create(spec);
     virt::VirtualNpu& b = hv.create(spec);
-    EXPECT_EQ(a.mask() & b.mask(), 0u);
+    EXPECT_TRUE((a.mask() & b.mask()).none());
     EXPECT_NE(a.vm(), b.vm());
     EXPECT_EQ(hv.num_free_cores(), 12);
     EXPECT_NEAR(hv.core_utilization(), 24.0 / 36.0, 1e-9);
@@ -148,7 +150,7 @@ TEST(HypervisorTest, ConfinedRoutesStayInRegion)
             while (cur != b) {
                 cur = v.confined_routes()->next_hop(cur, b);
                 ASSERT_NE(cur, kInvalidCore);
-                EXPECT_TRUE(v.mask() & core_bit(cur));
+                EXPECT_TRUE(v.mask().test(cur));
                 ASSERT_LT(++guard, 64);
             }
         }
@@ -177,6 +179,188 @@ TEST(HypervisorTest, MemoryRoundTripThroughBuddy)
     big.num_cores = 4;
     big.memory_bytes = 1ull << 30;
     EXPECT_NO_THROW(hv.create(big));
+}
+
+// ---- Beyond 64 cores ---------------------------------------------------------
+
+/** A Sim-flavoured config resized to `w` x `h` tiles. */
+SocConfig
+mesh_cfg(int w, int h)
+{
+    SocConfig c = SocConfig::Sim();
+    c.mesh_x = w;
+    c.mesh_y = h;
+    c.hbm_channels = std::min(h, 64);
+    return c;
+}
+
+TEST(HypervisorTest, EightyNodeMeshHasExactFreeMask)
+{
+    // Regression: the free-mask used to be built by `1 << num_nodes`,
+    // undefined for meshes above 64 nodes. 80 nodes exercises the
+    // word-crossing path (UBSan-clean by construction now).
+    Machine m(mesh_cfg(16, 5));
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    EXPECT_EQ(hv.num_free_cores(), 80);
+    EXPECT_EQ(hv.free_cores(), CoreSet::first_n(80));
+
+    VnpuSpec spec;
+    spec.num_cores = 24;
+    virt::VirtualNpu& v = hv.create(spec);
+    EXPECT_EQ(hv.num_free_cores(), 56);
+    EXPECT_TRUE(v.mask().andnot(CoreSet::first_n(80)).none());
+    hv.destroy(v.vm());
+    EXPECT_EQ(hv.free_cores(), CoreSet::first_n(80));
+}
+
+TEST(HypervisorTest, AllPoliciesOn256CoreMesh)
+{
+    // A 16x16 (DCRA-scale) chip: exact, similar-topology and
+    // fragmented requests must allocate, confine routes, and tear
+    // down cleanly.
+    Machine m(mesh_cfg(16, 16));
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    EXPECT_EQ(hv.num_free_cores(), 256);
+
+    VnpuSpec exact;
+    exact.topo = graph::Graph::mesh(6, 6);
+    exact.strategy = MappingStrategy::kExact;
+    virt::VirtualNpu& ve = hv.create(exact);
+    EXPECT_EQ(ve.mapping_ted(), 0.0);
+    ASSERT_TRUE(ve.isolated());
+
+    VnpuSpec similar;
+    similar.num_cores = 40;
+    similar.strategy = MappingStrategy::kSimilarTopology;
+    virt::VirtualNpu& vs = hv.create(similar);
+    ASSERT_TRUE(vs.isolated());
+    EXPECT_TRUE((ve.mask() & vs.mask()).none());
+
+    VnpuSpec frag;
+    frag.num_cores = 30;
+    frag.strategy = MappingStrategy::kFragmented;
+    virt::VirtualNpu& vf = hv.create(frag);
+    EXPECT_EQ(hv.num_free_cores(), 256 - 36 - 40 - 30);
+
+    // Confined routes of each isolated vNPU stay inside its region;
+    // regions legitimately span core ids above 64.
+    for (const virt::VirtualNpu* v : {&ve, &vs}) {
+        CoreSet region = v->mask();
+        const noc::RouteOverride* ov = v->confined_routes();
+        ASSERT_NE(ov, nullptr);
+        for (CoreId a : v->cores()) {
+            for (CoreId b : v->cores()) {
+                if (a == b)
+                    continue;
+                int cur = a, guard = 0;
+                while (cur != b) {
+                    cur = ov->next_hop(cur, b);
+                    ASSERT_NE(cur, kInvalidCore);
+                    ASSERT_TRUE(region.test(cur));
+                    ASSERT_LT(++guard, 256);
+                }
+            }
+        }
+    }
+    // 106 allocated cores cannot fit below id 64: the wide half of the
+    // set is genuinely exercised.
+    CoreSet all_used = ve.mask() | vs.mask() | vf.mask();
+    EXPECT_TRUE(all_used.andnot(CoreSet::first_n(256)).none());
+    EXPECT_LT(all_used.next(64), 256);
+
+    VmId vms[] = {ve.vm(), vs.vm(), vf.vm()};
+    for (VmId vm : vms)
+        hv.destroy(vm);
+    EXPECT_EQ(hv.free_cores(), CoreSet::first_n(256));
+}
+
+TEST(HypervisorTest, FragmentationSweepOn1024CoreMesh)
+{
+    // 32x32 chip: an allocate/destroy churn that fragments the free
+    // set, then a fragmented request that must still succeed. This is
+    // the scale the old u64 regions could not even represent.
+    Machine m(mesh_cfg(32, 32));
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    EXPECT_EQ(hv.num_free_cores(), 1024);
+
+    std::vector<VmId> vms;
+    VnpuSpec spec;
+    spec.num_cores = 48;
+    spec.max_candidates = 64; // keep the sweep quick
+    for (int i = 0; i < 8; ++i)
+        vms.push_back(hv.create(spec).vm());
+    EXPECT_EQ(hv.num_free_cores(), 1024 - 8 * 48);
+
+    // Punch holes: destroy every other vNPU.
+    for (std::size_t i = 0; i < vms.size(); i += 2)
+        hv.destroy(vms[i]);
+    EXPECT_EQ(hv.num_free_cores(), 1024 - 4 * 48);
+
+    VnpuSpec frag;
+    frag.num_cores = 60;
+    frag.strategy = MappingStrategy::kFragmented;
+    frag.max_candidates = 64;
+    virt::VirtualNpu& vf = hv.create(frag);
+    EXPECT_EQ(vf.num_cores(), 60);
+    // Still disjoint from the surviving tenants.
+    for (std::size_t i = 1; i < vms.size(); i += 2) {
+        const virt::VirtualNpu* other = hv.find(vms[i]);
+        ASSERT_NE(other, nullptr);
+        EXPECT_TRUE((vf.mask() & other->mask()).none());
+    }
+}
+
+TEST(HypervisorTest, RouteCacheHitsAcrossMigComparisonSweep)
+{
+    // The MIG comparison sweeps re-create identical vNPUs run after
+    // run; the confined-route tables must come from the cache after
+    // the first round instead of re-running the BFS build.
+    Machine m(sim_cfg());
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+
+    const noc::RouteOverride* first_round[2] = {nullptr, nullptr};
+    const int rounds = 4;
+    for (int round = 0; round < rounds; ++round) {
+        VnpuSpec sa, sb;
+        sa.num_cores = 12;
+        sb.num_cores = 24;
+        virt::VirtualNpu& va = hv.create(sa);
+        virt::VirtualNpu& vb = hv.create(sb);
+        ASSERT_TRUE(va.isolated() && vb.isolated());
+        if (round == 0) {
+            first_round[0] = va.confined_routes();
+            first_round[1] = vb.confined_routes();
+        } else {
+            // Identical regions -> the very same cached tables.
+            EXPECT_EQ(va.confined_routes(), first_round[0]);
+            EXPECT_EQ(vb.confined_routes(), first_round[1]);
+        }
+        VmId vma = va.vm(), vmb = vb.vm();
+        hv.destroy(vma);
+        hv.destroy(vmb);
+    }
+    EXPECT_EQ(hv.stats().route_cache_misses.value(), 2u);
+    EXPECT_EQ(hv.stats().route_cache_hits.value(), 2u * (rounds - 1));
+}
+
+TEST(HypervisorTest, RouteCacheEvictsUnreferencedTables)
+{
+    // 70 distinct single-tenant regions churned through an 80-node
+    // chip: every table is unreferenced after its destroy, so the
+    // cache must stay bounded at the eviction cap (64 entries at this
+    // mesh size) instead of retaining one n*n matrix per region ever
+    // seen.
+    Machine m(mesh_cfg(16, 5));
+    Hypervisor hv(m.config(), m.topology(), m.controller());
+    for (int k = 1; k <= 70; ++k) {
+        VnpuSpec spec;
+        spec.num_cores = k;
+        spec.max_candidates = 16;
+        virt::VirtualNpu& v = hv.create(spec);
+        hv.destroy(v.vm());
+    }
+    EXPECT_EQ(hv.stats().route_cache_misses.value(), 70u);
+    EXPECT_LE(hv.route_cache_size(), 64u); // evict-before-insert cap
 }
 
 // ---- MIG baseline ------------------------------------------------------------
@@ -238,6 +422,36 @@ TEST(MigTest, CustomPartitions)
     EXPECT_EQ(mask_count(v.mask()), 10);
     // Out-of-bounds partitions rejected.
     EXPECT_THROW(mig.set_partitions({{7, 0, 2, 6}}), SimFatal);
+}
+
+TEST(MigTest, PartitionsOn256CoreMesh)
+{
+    // MIG halves a 16x16 chip into two 8x16 partitions whose core ids
+    // reach past 64; snake order, TDM, and interface accounting must
+    // all survive the wide masks.
+    SocConfig cfg = SocConfig::Sim();
+    cfg.mesh_x = 16;
+    cfg.mesh_y = 16;
+    cfg.hbm_channels = 16;
+    Machine m(cfg);
+    MigPartitioner mig(m.config(), m.topology(), m.controller());
+    ASSERT_EQ(mig.partitions().size(), 2u);
+    EXPECT_EQ(mig.partitions()[0].num_cores(), 128);
+
+    virt::VirtualNpu& a = mig.create(100, 1 << 20);
+    EXPECT_EQ(a.tdm_factor(), 1);
+    EXPECT_EQ(mask_count(a.mask()), 100);
+    EXPECT_EQ(mig.wasted_cores(), 28);
+
+    virt::VirtualNpu& b = mig.create(200, 1 << 20); // TDM on 128 cores
+    EXPECT_EQ(b.tdm_factor(), 2);
+    EXPECT_EQ(mask_count(b.mask()), 128);
+    EXPECT_TRUE((a.mask() & b.mask()).none());
+    EXPECT_GT(b.interfaces(), 0);
+
+    mig.destroy(a.vm());
+    mig.destroy(b.vm());
+    EXPECT_NO_THROW(mig.create(128, 0));
 }
 
 } // namespace

@@ -13,11 +13,10 @@
 namespace vnpu::hyp {
 namespace {
 
-CoreMask
+CoreSet
 all_cores(const noc::MeshTopology& t)
 {
-    return t.num_nodes() == 64 ? ~CoreMask{0}
-                               : (CoreMask{1} << t.num_nodes()) - 1;
+    return CoreSet::first_n(t.num_nodes());
 }
 
 MappingRequest
@@ -69,14 +68,14 @@ TEST(MapperTest, TopologyLockInScenario)
     // cores remain.
     noc::MeshTopology topo(5, 5);
     TopologyMapper mapper(topo);
-    CoreMask free = all_cores(topo);
+    CoreSet free = all_cores(topo);
 
     MappingResult first =
         mapper.map(mesh_request(3, 3, MappingStrategy::kExact), free);
     ASSERT_TRUE(first.ok);
     for (CoreId c : first.assignment)
-        free &= ~core_bit(c);
-    EXPECT_EQ(mask_count(free), 16);
+        free.reset(c);
+    EXPECT_EQ(free.count(), 16);
 
     MappingResult second =
         mapper.map(mesh_request(3, 3, MappingStrategy::kExact), free);
@@ -90,7 +89,7 @@ TEST(MapperTest, TopologyLockInScenario)
     // All assigned cores are free and distinct.
     std::set<CoreId> used;
     for (CoreId c : rescued.assignment) {
-        EXPECT_TRUE(free & core_bit(c));
+        EXPECT_TRUE(free.test(c));
         EXPECT_TRUE(used.insert(c).second);
     }
 }
@@ -110,7 +109,7 @@ TEST(MapperTest, StraightforwardTakesLowestIds)
 {
     noc::MeshTopology topo(4, 4);
     TopologyMapper mapper(topo);
-    CoreMask free = all_cores(topo) & ~core_bit(1) & ~core_bit(2);
+    CoreSet free = all_cores(topo).andnot(core_bit(1) | core_bit(2));
     MappingRequest req = mesh_request(2, 2, MappingStrategy::kStraightforward);
     MappingResult r = mapper.map(req, free);
     ASSERT_TRUE(r.ok);
@@ -124,10 +123,10 @@ TEST(MapperTest, SimilarBeatsStraightforwardOnFragmentedMesh)
     // compact region remains available lower down.
     noc::MeshTopology topo(5, 5);
     TopologyMapper mapper(topo);
-    CoreMask free = all_cores(topo);
+    CoreSet free = all_cores(topo);
     for (int x = 0; x < 5; ++x)
-        free &= ~core_bit(topo.id_of(x, 0));
-    free &= ~core_bit(topo.id_of(0, 1)); // and one more corner-ish core
+        free.reset(topo.id_of(x, 0));
+    free.reset(topo.id_of(0, 1)); // and one more corner-ish core
 
     MappingRequest sim = mesh_request(3, 3, MappingStrategy::kSimilarTopology);
     MappingRequest zig = mesh_request(3, 3, MappingStrategy::kStraightforward);
@@ -145,7 +144,7 @@ TEST(MapperTest, ConnectivityRequirementHonored)
     // 4-core request must fail, fragmented mapping must succeed.
     noc::MeshTopology topo(4, 4);
     TopologyMapper mapper(topo);
-    CoreMask free = core_bit(0) | core_bit(1) | core_bit(14) | core_bit(15);
+    CoreSet free = core_bit(0) | core_bit(1) | core_bit(14) | core_bit(15);
 
     MappingRequest req = mesh_request(2, 2, MappingStrategy::kSimilarTopology);
     MappingResult r = mapper.map(req, free);
@@ -157,7 +156,7 @@ TEST(MapperTest, ConnectivityRequirementHonored)
     std::set<CoreId> used(fr.assignment.begin(), fr.assignment.end());
     EXPECT_EQ(used.size(), 4u);
     for (CoreId c : used)
-        EXPECT_TRUE(free & core_bit(c));
+        EXPECT_TRUE(free.test(c));
 }
 
 TEST(MapperTest, NotEnoughCoresFails)
@@ -191,10 +190,10 @@ TEST(MapperTest, HeterogeneousNodeCostSteersPlacement)
     // labels through the induced subgraph, so set them on the graph it
     // uses — easiest is to verify via the request's own mesh.)
     // West column free plus a east column alternative:
-    CoreMask west = 0, east = 0;
+    CoreSet west, east;
     for (int y = 0; y < 4; ++y) {
-        west |= core_bit(topo.id_of(0, y));
-        east |= core_bit(topo.id_of(3, y));
+        west.set(topo.id_of(0, y));
+        east.set(topo.id_of(3, y));
     }
     // Mapper works on unlabeled mesh graphs by default; emulate the
     // heterogeneity by restricting free cores and checking both
@@ -210,7 +209,7 @@ TEST(MapperTest, DeterministicAcrossRuns)
 {
     noc::MeshTopology topo(6, 6);
     TopologyMapper mapper(topo);
-    CoreMask free = all_cores(topo) & ~core_bit(0) & ~core_bit(35);
+    CoreSet free = all_cores(topo).andnot(core_bit(0) | core_bit(35));
     MappingRequest req =
         mesh_request(3, 4, MappingStrategy::kSimilarTopology);
     MappingResult a = mapper.map(req, free);
@@ -218,6 +217,68 @@ TEST(MapperTest, DeterministicAcrossRuns)
     ASSERT_TRUE(a.ok && b.ok);
     EXPECT_EQ(a.assignment, b.assignment);
     EXPECT_EQ(a.ted, b.ted);
+}
+
+TEST(MapperTest, ExactMappingOn256CoreMesh)
+{
+    // DCRA-scale chip: an 8x5 virtual mesh has an isomorphic region
+    // and must map with TED 0 even though the candidate space is huge.
+    noc::MeshTopology topo(16, 16);
+    TopologyMapper mapper(topo);
+    MappingResult r = mapper.map(
+        mesh_request(8, 5, MappingStrategy::kExact), all_cores(topo));
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.ted, 0.0);
+    std::set<CoreId> used(r.assignment.begin(), r.assignment.end());
+    EXPECT_EQ(used.size(), 40u);
+}
+
+TEST(MapperTest, SimilarMappingOn1024CoreMeshWithHoles)
+{
+    // 32x32 mesh with a scattered-occupancy pattern across the whole
+    // id range; the similar strategy must still return a connected,
+    // disjoint, free-only assignment.
+    noc::MeshTopology topo(32, 32);
+    TopologyMapper mapper(topo);
+    CoreSet free = all_cores(topo);
+    for (int id = 0; id < topo.num_nodes(); id += 37)
+        free.reset(id); // holes in every 64-bit word
+    MappingRequest req;
+    req.vtopo = TopologyMapper::snake_topology(24);
+    req.strategy = MappingStrategy::kSimilarTopology;
+    req.max_candidates = 64;
+    MappingResult r = mapper.map(req, free);
+    ASSERT_TRUE(r.ok);
+    std::set<CoreId> used;
+    for (CoreId c : r.assignment) {
+        EXPECT_TRUE(free.test(c));
+        EXPECT_TRUE(used.insert(c).second);
+    }
+    EXPECT_EQ(used.size(), 24u);
+    EXPECT_TRUE(topo.to_graph().is_connected_subset(
+        CoreSet::from_range(r.assignment)));
+}
+
+TEST(MapperTest, FragmentedMappingAcrossWordBoundaryIslands)
+{
+    // Two free islands on a 9x9 (81-core) mesh, one fully above id 64:
+    // the fragmented strategy must pick cores from both words.
+    noc::MeshTopology topo(9, 9);
+    TopologyMapper mapper(topo);
+    CoreSet free;
+    for (int id : {0, 1, 2})
+        free.set(id);
+    for (int id : {75, 76, 77}) // row 8, ids >= 64
+        free.set(id);
+    MappingRequest req;
+    req.vtopo = graph::Graph::chain(6);
+    req.strategy = MappingStrategy::kSimilarTopology;
+    EXPECT_FALSE(mapper.map(req, free).ok); // disconnected
+
+    req.strategy = MappingStrategy::kFragmented;
+    MappingResult r = mapper.map(req, free);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(CoreSet::from_range(r.assignment), free);
 }
 
 } // namespace

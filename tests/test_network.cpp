@@ -165,19 +165,19 @@ TEST_F(NetFixture, ConfinedRoutingStaysInsideRegion)
 {
     // L-shaped region: 0, 4, 8, 9, 10. XY routing 0->10 would go
     // through 1, 2 (outside); the override must stay inside.
-    CoreMask region = core_bit(0) | core_bit(4) | core_bit(8) |
-                      core_bit(9) | core_bit(10);
+    CoreSet region = core_bit(0) | core_bit(4) | core_bit(8) |
+                     core_bit(9) | core_bit(10);
     RouteOverride ov = RouteOverride::build_confined(topo, region);
     std::vector<int> path = net.route_path(0, 10, &ov);
     EXPECT_EQ(path, (std::vector<int>{0, 4, 8, 9, 10}));
     for (int node : path)
-        EXPECT_TRUE(region & core_bit(node)) << "node " << node;
+        EXPECT_TRUE(region.test(node)) << "node " << node;
 
     // Without the override, XY leaves the region.
     std::vector<int> dor = net.route_path(0, 10, nullptr);
     bool leaves = false;
     for (int node : dor)
-        if (!(region & core_bit(node)))
+        if (!region.test(node))
             leaves = true;
     EXPECT_TRUE(leaves);
 }
@@ -185,7 +185,7 @@ TEST_F(NetFixture, ConfinedRoutingStaysInsideRegion)
 TEST_F(NetFixture, ConfinedRoutingEliminatesInterference)
 {
     // vm1 owns the left 2 columns, vm2 the right 2 columns.
-    CoreMask left = 0, right = 0;
+    CoreSet left, right;
     for (int y = 0; y < 4; ++y) {
         left |= core_bit(topo.id_of(0, y)) | core_bit(topo.id_of(1, y));
         right |= core_bit(topo.id_of(2, y)) | core_bit(topo.id_of(3, y));
@@ -207,8 +207,8 @@ TEST_F(NetFixture, ZeroByteSendFollowsConfinedRoute)
     wcfg.noc_relay_store_forward = false;
     EventQueue weq;
     Network wnet(wcfg, topo, weq);
-    CoreMask region = core_bit(0) | core_bit(4) | core_bit(8) |
-                      core_bit(9) | core_bit(10);
+    CoreSet region = core_bit(0) | core_bit(4) | core_bit(8) |
+                     core_bit(9) | core_bit(10);
     RouteOverride ov = RouteOverride::build_confined(topo, region);
     SendResult r = wnet.send(0, 0, 10, 0, 1, 0, &ov);
     EXPECT_EQ(r.hops, 4);               // 0->4->8->9->10, not 3 (Manhattan)
@@ -218,7 +218,7 @@ TEST_F(NetFixture, ZeroByteSendFollowsConfinedRoute)
 
 TEST_F(NetFixture, OverrideRequiresConnectedRegion)
 {
-    CoreMask split = core_bit(0) | core_bit(15);
+    CoreSet split = core_bit(0) | core_bit(15);
     EXPECT_THROW(RouteOverride::build_confined(topo, split), SimFatal);
 }
 

@@ -36,13 +36,11 @@ TEST_P(ConfinedRoutingProperty, RoutesAreInRegionShortestPaths)
     graph::Graph mesh = topo.to_graph();
 
     int k = 3 + static_cast<int>(rng.next_below(6));
-    graph::NodeMask all = mesh.num_nodes() == 64
-                              ? ~graph::NodeMask{0}
-                              : (graph::NodeMask{1} << mesh.num_nodes()) - 1;
+    graph::NodeMask all = graph::NodeMask::first_n(mesh.num_nodes());
     auto regions = graph::sample_connected_subsets(mesh, k, all, 4, rng);
     ASSERT_FALSE(regions.empty());
 
-    for (graph::NodeMask region : regions) {
+    for (const graph::NodeMask& region : regions) {
         noc::RouteOverride ov =
             noc::RouteOverride::build_confined(topo, region);
         std::vector<int> nodes = graph::Graph::mask_to_nodes(region);
@@ -55,7 +53,7 @@ TEST_P(ConfinedRoutingProperty, RoutesAreInRegionShortestPaths)
                 while (cur != b) {
                     cur = ov.next_hop(cur, b);
                     ASSERT_NE(cur, kInvalidCore);
-                    ASSERT_TRUE(region & core_bit(cur));
+                    ASSERT_TRUE(region.test(cur));
                     ASSERT_LE(++hops, topo.num_nodes());
                 }
                 // Path length equals BFS distance within the region.
@@ -65,10 +63,7 @@ TEST_P(ConfinedRoutingProperty, RoutesAreInRegionShortestPaths)
                 std::vector<int> queue{a};
                 for (std::size_t head = 0; head < queue.size(); ++head) {
                     int v = queue[head];
-                    graph::NodeMask nb = sub.neighbors(v) & region;
-                    while (nb) {
-                        int u = __builtin_ctzll(nb);
-                        nb &= nb - 1;
+                    for (int u : sub.neighbors(v) & region) {
                         if (!dist.count(u)) {
                             dist[u] = dist[v] + 1;
                             queue.push_back(u);
@@ -299,9 +294,9 @@ TEST_P(MapperStrategyProperty, AssignmentsAreDistinctFreeCores)
     Rng rng(99);
     for (int trial = 0; trial < 6; ++trial) {
         // Random occupancy.
-        CoreMask free = (CoreMask{1} << 36) - 1;
+        CoreSet free = CoreSet::first_n(36);
         for (int i = 0; i < 8; ++i)
-            free &= ~core_bit(static_cast<CoreId>(rng.next_below(36)));
+            free.reset(static_cast<CoreId>(rng.next_below(36)));
         int k = 4 + static_cast<int>(rng.next_below(8));
         hyp::MappingRequest req;
         req.vtopo = hyp::TopologyMapper::snake_topology(k);
@@ -311,7 +306,7 @@ TEST_P(MapperStrategyProperty, AssignmentsAreDistinctFreeCores)
             continue; // exact may legitimately fail
         std::set<CoreId> used;
         for (CoreId c : r.assignment) {
-            EXPECT_TRUE(free & core_bit(c));
+            EXPECT_TRUE(free.test(c));
             EXPECT_TRUE(used.insert(c).second);
         }
         EXPECT_EQ(static_cast<int>(used.size()), k);

@@ -82,17 +82,35 @@ TEST(TopologyTest, InterfaceCountOfRegions)
 {
     MeshTopology t(6, 6);
     // One full row touches exactly one channel.
-    CoreMask row0 = 0;
+    CoreSet row0;
     for (int x = 0; x < 6; ++x)
-        row0 |= core_bit(t.id_of(x, 0));
+        row0.set(t.id_of(x, 0));
     EXPECT_EQ(t.interfaces_of(row0, 6), 1);
     // A 2x2 block spans two rows -> two interfaces.
-    CoreMask block = core_bit(t.id_of(0, 0)) | core_bit(t.id_of(1, 0)) |
-                     core_bit(t.id_of(0, 1)) | core_bit(t.id_of(1, 1));
+    CoreSet block = core_bit(t.id_of(0, 0)) | core_bit(t.id_of(1, 0)) |
+                    core_bit(t.id_of(0, 1)) | core_bit(t.id_of(1, 1));
     EXPECT_EQ(t.interfaces_of(block, 6), 2);
     // The whole chip reaches all channels.
-    CoreMask all = (CoreMask{1} << 36) - 1;
+    CoreSet all = CoreSet::first_n(36);
     EXPECT_EQ(t.interfaces_of(all, 6), 6);
+}
+
+TEST(TopologyTest, InterfaceCountBeyond32Channels)
+{
+    // Regression: the channel accumulator was 32-bit, so `1u << ch`
+    // silently wrapped (or worse) for 33+ channels. A 40-row mesh
+    // with one core per row must now report every channel.
+    MeshTopology t(2, 40);
+    CoreSet col;
+    for (int y = 0; y < 40; ++y)
+        col.set(t.id_of(0, y));
+    EXPECT_EQ(t.interfaces_of(col, 40), 40);
+    EXPECT_EQ(t.interfaces_of(col, 33), 33);
+    EXPECT_EQ(t.interfaces_of(col, 64), 40);
+    // A single high-row core maps to a channel index above 31.
+    EXPECT_EQ(t.interfaces_of(core_bit(t.id_of(1, 39)), 64), 1);
+    // Channel counts past the 64-bit accumulator are rejected.
+    EXPECT_THROW(t.interfaces_of(col, 65), SimFatal);
 }
 
 TEST(TopologyTest, MemoryDistanceLabels)
