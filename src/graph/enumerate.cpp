@@ -40,6 +40,8 @@ struct Ops<std::uint64_t> {
     {
         return a & ~b;
     }
+    static int count(std::uint64_t m) { return __builtin_popcountll(m); }
+    static std::uint64_t narrow(const NodeMask& m) { return m.word(0); }
     static NodeMask widen(std::uint64_t m) { return NodeMask::from_word(m); }
 };
 
@@ -54,6 +56,8 @@ struct Ops<NodeMask> {
     {
         return a.andnot(b);
     }
+    static int count(const NodeMask& m) { return m.count(); }
+    static const NodeMask& narrow(const NodeMask& m) { return m; }
     static const NodeMask& widen(const NodeMask& m) { return m; }
 };
 
@@ -124,7 +128,183 @@ struct Enumerator {
     }
 };
 
+/**
+ * VF2-style backtracking state. Pattern vertices are placed in a fixed
+ * most-constrained-first `order`; the candidate set for a vertex is the
+ * common host neighborhood of its already-placed pattern neighbors
+ * intersected with its precomputed degree/label-compatible hosts. The
+ * induced property is enforced by one mask equality per attempt:
+ * `hadj[h] & used == req` says h touches exactly the images of the
+ * vertex's placed pattern neighbors, no other placed node.
+ */
+template <typename M>
+struct IsoSearcher {
+    const std::vector<M>& hadj;
+    int k;
+    const std::vector<int>& order;
+    /** earlier[v]: pattern neighbors of v placed before v in `order`. */
+    const std::vector<std::vector<int>>& earlier;
+    /** compat[v]: allowed hosts passing the degree/label prefilter. */
+    const std::vector<M>& compat;
+    std::uint64_t max_steps;
+
+    std::vector<int> img;
+    M used{};
+    std::uint64_t steps = 0;
+    bool exhausted = false;
+
+    bool
+    dfs(int pos)
+    {
+        if (pos == k)
+            return true;
+        const int v = order[pos];
+        M req{};
+        M cand;
+        if (earlier[v].empty()) {
+            // Anchor (or a new component): any unused compatible host.
+            cand = Ops<M>::andnot(compat[v], used);
+        } else {
+            cand = hadj[img[earlier[v].front()]];
+            req = Ops<M>::of(img[earlier[v].front()]);
+            for (std::size_t i = 1; i < earlier[v].size(); ++i) {
+                const int h = img[earlier[v][i]];
+                cand = cand & hadj[h];
+                req = req | Ops<M>::of(h);
+            }
+            cand = Ops<M>::andnot(cand & compat[v], used);
+        }
+        while (Ops<M>::any(cand)) {
+            if (++steps > max_steps) {
+                exhausted = true;
+                return false;
+            }
+            const int h = Ops<M>::pop_lowest(cand);
+            if (!(M(hadj[h] & used) == req))
+                continue; // would break the induced property
+            img[v] = h;
+            used = used | Ops<M>::of(h);
+            if (dfs(pos + 1))
+                return true;
+            if (exhausted)
+                return false;
+            used = Ops<M>::andnot(used, Ops<M>::of(h));
+        }
+        return false;
+    }
+};
+
+template <typename M>
+IsoResult
+iso_search(const Graph& pattern, const Graph& host, const NodeMask& allowed,
+           const IsoOptions& opt)
+{
+    IsoResult res;
+    const int k = pattern.num_nodes();
+    const int n = host.num_nodes();
+
+    std::vector<M> hadj(n);
+    for (int v = 0; v < n; ++v)
+        hadj[v] = Ops<M>::narrow(host.neighbors(v));
+    const M wide_allowed = Ops<M>::narrow(allowed);
+
+    // Host degrees restricted to the allowed region: every image of a
+    // pattern neighbor also lands in `allowed`.
+    std::vector<int> hdeg(n, 0);
+    std::vector<int> hseq;
+    hseq.reserve(allowed.count());
+    for (int h : allowed) {
+        hdeg[h] = Ops<M>::count(hadj[h] & wide_allowed);
+        hseq.push_back(hdeg[h]);
+    }
+
+    // Degree-sequence prefilter: the i-th largest pattern degree must
+    // fit under the i-th largest allowed host degree.
+    std::vector<int> pseq = pattern.degree_sequence();
+    std::sort(hseq.begin(), hseq.end(), std::greater<int>());
+    if (pseq.size() > hseq.size())
+        return res;
+    for (std::size_t i = 0; i < pseq.size(); ++i)
+        if (pseq[i] > hseq[i])
+            return res;
+
+    // Per-vertex candidate hosts under degree and label compatibility.
+    std::vector<M> compat(k);
+    for (int p = 0; p < k; ++p) {
+        const int pd = pattern.degree(p);
+        M m{};
+        for (int h : allowed) {
+            if (hdeg[h] < pd)
+                continue;
+            if (opt.node_compat
+                    ? !opt.node_compat(pattern.label(p), host.label(h))
+                    : pattern.label(p) != host.label(h))
+                continue;
+            m = m | Ops<M>::of(h);
+        }
+        if (!Ops<M>::any(m))
+            return res; // some pattern vertex has no possible host
+        compat[p] = m;
+    }
+
+    // Most-constrained-first order: maximize placed neighbors (frontier
+    // growth), then degree; ties break on the lowest id (deterministic).
+    std::vector<int> order;
+    order.reserve(k);
+    std::vector<std::vector<int>> earlier(k);
+    std::vector<char> placed(k, 0);
+    std::vector<int> placed_nbrs(k, 0);
+    for (int pos = 0; pos < k; ++pos) {
+        int best = -1;
+        for (int v = 0; v < k; ++v) {
+            if (placed[v])
+                continue;
+            if (best < 0 || placed_nbrs[v] > placed_nbrs[best] ||
+                (placed_nbrs[v] == placed_nbrs[best] &&
+                 pattern.degree(v) > pattern.degree(best)))
+                best = v;
+        }
+        for (int u : pattern.neighbors(best))
+            if (placed[u])
+                earlier[best].push_back(u);
+        placed[best] = 1;
+        order.push_back(best);
+        for (int u : pattern.neighbors(best))
+            if (!placed[u])
+                ++placed_nbrs[u];
+    }
+
+    IsoSearcher<M> s{hadj,  k,        order, earlier,
+                     compat, opt.max_steps, std::vector<int>(k, -1)};
+    const bool found = s.dfs(0);
+    res.steps = s.steps;
+    res.budget_exhausted = s.exhausted;
+    if (found) {
+        res.found = true;
+        res.mapping = std::move(s.img);
+    }
+    return res;
+}
+
 } // namespace
+
+IsoResult
+find_induced_isomorphism(const Graph& pattern, const Graph& host,
+                         const NodeMask& allowed, const IsoOptions& opt)
+{
+    IsoResult res;
+    const int k = pattern.num_nodes();
+    if (k == 0) {
+        res.found = true;
+        return res;
+    }
+    NodeMask in_host = allowed & NodeMask::first_n(host.num_nodes());
+    if (in_host.count() < k)
+        return res;
+    if (host.num_nodes() <= 64)
+        return iso_search<std::uint64_t>(pattern, host, in_host, opt);
+    return iso_search<NodeMask>(pattern, host, in_host, opt);
+}
 
 std::uint64_t
 enumerate_connected_subsets(const Graph& g, int k, const NodeMask& allowed,
@@ -168,22 +348,23 @@ sample_connected_subsets(const Graph& g, int k, const NodeMask& allowed,
         return out;
 
     std::vector<int> seeds = Graph::mask_to_nodes(allowed);
-    std::vector<int> choices;
     for (int s = 0; s < samples; ++s) {
         int seed = seeds[s % seeds.size()];
         NodeMask sub = NodeMask::of(seed);
         NodeMask frontier = g.neighbors(seed);
-        // Randomized growth: repeatedly add a random frontier node.
+        // Randomized growth: repeatedly add a random frontier node,
+        // selected directly from the frontier set (CoreSet::nth) — no
+        // per-step choices vector. One rng draw per step, uniform over
+        // the frontier in ascending id order: the exact distribution
+        // (and output sequence) of the old materialized-vector pick.
         for (int size = 1; size < k; ++size) {
             frontier = (frontier & allowed).andnot(sub);
             if (frontier.none()) {
                 sub = NodeMask{};
                 break; // dead end; try next seed
             }
-            choices.clear();
-            for (int v : frontier)
-                choices.push_back(v);
-            int pick = choices[rng.next_below(choices.size())];
+            int pick = frontier.nth(static_cast<int>(
+                rng.next_below(frontier.count())));
             sub.set(pick);
             frontier |= g.neighbors(pick);
         }

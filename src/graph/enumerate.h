@@ -52,6 +52,65 @@ std::vector<NodeMask> sample_connected_subsets(const Graph& g, int k,
 /** Binomial coefficient with saturation at UINT64_MAX. */
 std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
 
+// ---- Exact induced-subgraph isomorphism -------------------------------
+
+/**
+ * Default backtracking-step budget, shared by every layer that exposes
+ * one (`IsoOptions`, `hyp::MappingRequest`, `hyp::VnpuSpec`) so the
+ * defaults cannot drift apart.
+ */
+inline constexpr std::uint64_t kDefaultIsoSearchBudget = 4'000'000;
+
+/** Tuning knobs for `find_induced_isomorphism`. */
+struct IsoOptions {
+    /**
+     * Backtracking-step budget (one step = one attempted vertex
+     * placement). A miss on a 1024-node host terminates within this
+     * bound; `IsoResult::budget_exhausted` distinguishes "gave up" from
+     * "proved absent".
+     */
+    std::uint64_t max_steps = kDefaultIsoSearchBudget;
+
+    /**
+     * Node compatibility: may pattern label `a` be hosted by host label
+     * `b`? Default (null): labels must be equal.
+     */
+    std::function<bool(int a, int b)> node_compat;
+};
+
+/** Outcome of an induced-isomorphism search. */
+struct IsoResult {
+    bool found = false;
+    /** True when the search hit `max_steps` before covering the space;
+     *  `found == false` is then inconclusive. */
+    bool budget_exhausted = false;
+    /** Vertex placements attempted (search effort, for stats/benches). */
+    std::uint64_t steps = 0;
+    /** mapping[p] = host node playing pattern node p (when found). */
+    std::vector<int> mapping;
+};
+
+/**
+ * Find an injective mapping of `pattern` onto an *induced* subgraph of
+ * `host` restricted to the `allowed` node set: pattern edges map to
+ * host edges and pattern non-edges to host non-edges, so the image
+ * region realizes exactly the requested topology (TED 0).
+ *
+ * VF2-style anchored backtracking with frontier propagation: after the
+ * anchor, candidates for each pattern vertex are the common host
+ * neighborhood of its already-placed pattern neighbors, filtered by an
+ * exact adjacency-mask check (which also enforces non-adjacency) and by
+ * degree/label prefilters computed up front. Disconnected patterns are
+ * handled by re-anchoring per component. Deterministic: hosts are tried
+ * in ascending id order, so the lowest-anchored embedding wins.
+ *
+ * Graphs of <= 64 host nodes run on plain u64 masks (the same fast path
+ * the subset enumerator uses); larger hosts use wide `NodeMask`s.
+ */
+IsoResult find_induced_isomorphism(const Graph& pattern, const Graph& host,
+                                   const NodeMask& allowed,
+                                   const IsoOptions& opt = {});
+
 } // namespace vnpu::graph
 
 #endif // VNPU_GRAPH_ENUMERATE_H

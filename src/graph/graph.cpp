@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "sim/log.h"
 
@@ -111,6 +112,25 @@ Graph::edges() const
             out.emplace_back(a, b);
     }
     return out;
+}
+
+int
+Graph::max_degree() const
+{
+    int best = 0;
+    for (int v = 0; v < n_; ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+std::vector<int>
+Graph::degree_sequence() const
+{
+    std::vector<int> deg(n_);
+    for (int v = 0; v < n_; ++v)
+        deg[v] = degree(v);
+    std::sort(deg.begin(), deg.end(), std::greater<int>());
+    return deg;
 }
 
 bool

@@ -63,6 +63,16 @@ class Graph {
     /** All edges as (a, b) pairs with a < b. */
     std::vector<std::pair<int, int>> edges() const;
 
+    /** Largest node degree (0 for the empty graph). */
+    int max_degree() const;
+
+    /**
+     * Node degrees sorted descending. Prefilter for isomorphism search:
+     * if pattern.degree_sequence() is not elementwise <= the host
+     * region's sequence, no induced embedding can exist.
+     */
+    std::vector<int> degree_sequence() const;
+
     // ---- Labels ------------------------------------------------------
     int label(int v) const { return labels_[v]; }
     void set_label(int v, int label) { labels_[v] = label; }

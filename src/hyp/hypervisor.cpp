@@ -169,8 +169,12 @@ Hypervisor::create(const VnpuSpec& spec)
     mreq.strategy = spec.strategy;
     mreq.require_connected = spec.noc_isolation;
     mreq.max_candidates = spec.max_candidates;
+    mreq.exact_search_budget = spec.exact_search_budget;
     mreq.ged = spec.ged;
     MappingResult m = mapper_.map(mreq, free_);
+    stats_.mapper_search_steps += m.search_steps;
+    if (m.budget_exhausted)
+        ++stats_.mapper_budget_exhausted;
     if (!m.ok) {
         ++stats_.allocation_failures;
         fatal("vNPU allocation failed (", to_string(spec.strategy),

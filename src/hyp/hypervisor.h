@@ -42,6 +42,8 @@ struct VnpuSpec {
     int range_tlb_entries = 4;
     /** Candidate budget forwarded to the topology mapper. */
     std::uint64_t max_candidates = 400;
+    /** Step budget for the exact-isomorphism search (kExact only). */
+    std::uint64_t exact_search_budget = graph::kDefaultIsoSearchBudget;
     /** Edit-cost customization for heterogeneous topologies. */
     graph::GedOptions ged;
 };
@@ -54,6 +56,8 @@ struct HypervisorStats {
     Counter setup_cycles;       ///< Accumulated meta-table config cost.
     Counter route_cache_hits;   ///< Confined routes reused from cache.
     Counter route_cache_misses; ///< Confined routes built from scratch.
+    Counter mapper_search_steps;    ///< Exact-search placements attempted.
+    Counter mapper_budget_exhausted; ///< Exact searches that gave up.
 };
 
 /** Manages all virtual NPUs of one physical chip. */

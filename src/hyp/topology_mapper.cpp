@@ -58,10 +58,16 @@ MappingResult
 TopologyMapper::map(const MappingRequest& req, const CoreSet& free_cores) const
 {
     const int k = req.vtopo.num_nodes();
-    if (k <= 0)
-        return {false, {}, 0.0, 0, "empty request"};
-    if (free_cores.count() < k)
-        return {false, {}, 0.0, 0, "not enough free cores"};
+    if (k <= 0) {
+        MappingResult r;
+        r.error = "empty request";
+        return r;
+    }
+    if (free_cores.count() < k) {
+        MappingResult r;
+        r.error = "not enough free cores";
+        return r;
+    }
 
     switch (req.strategy) {
       case MappingStrategy::kExact:
@@ -214,17 +220,179 @@ TopologyMapper::refine_wirelength(const graph::Graph& vtopo,
     }
 }
 
+namespace {
+
+/** One axis-aligned rectangle of a polyomino decomposition. */
+struct ShapeRect {
+    int x, y, w, h;
+};
+
+/**
+ * One congruence class of the request's grid embedding: per-vertex cell
+ * coordinates (normalized to a (0,0)-anchored bounding box) plus the
+ * maximal-rectangle decomposition used for the free-set test. Adjacency
+ * across rectangle seams needs no extra checks — mesh adjacency is
+ * purely coordinate-based, so any translated placement of the cells
+ * induces exactly the embedded topology.
+ */
+struct ShapeVariant {
+    int w = 0, h = 0;
+    std::vector<std::pair<int, int>> cells; // cells[v] = (x, y) of vertex v
+    std::vector<ShapeRect> rects;
+};
+
+/** Row runs merged vertically into maximal-height rectangles. */
+std::vector<ShapeRect>
+decompose_rects(const std::vector<std::pair<int, int>>& cells, int w, int h)
+{
+    // Occupancy grid of the bounding box.
+    std::vector<char> occ(static_cast<std::size_t>(w) * h, 0);
+    for (auto [x, y] : cells)
+        occ[static_cast<std::size_t>(y) * w + x] = 1;
+
+    std::vector<ShapeRect> rects;
+    std::vector<char> taken(occ.size(), 0);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            if (!occ[static_cast<std::size_t>(y) * w + x] ||
+                taken[static_cast<std::size_t>(y) * w + x])
+                continue;
+            int rw = 0;
+            while (x + rw < w &&
+                   occ[static_cast<std::size_t>(y) * w + x + rw] &&
+                   !taken[static_cast<std::size_t>(y) * w + x + rw])
+                ++rw;
+            int rh = 1;
+            auto row_full = [&](int yy) {
+                for (int i = 0; i < rw; ++i) {
+                    std::size_t at =
+                        static_cast<std::size_t>(yy) * w + x + i;
+                    if (!occ[at] || taken[at])
+                        return false;
+                }
+                return true;
+            };
+            while (y + rh < h && row_full(y + rh))
+                ++rh;
+            for (int yy = y; yy < y + rh; ++yy)
+                for (int i = 0; i < rw; ++i)
+                    taken[static_cast<std::size_t>(yy) * w + x + i] = 1;
+            rects.push_back({x, y, rw, rh});
+        }
+    }
+    return rects;
+}
+
+/**
+ * The 8 grid symmetries (4 rotations x optional reflection) of one
+ * embedding, normalized and deduplicated by cell set: congruent
+ * transforms would slide over identical placements.
+ */
+std::vector<ShapeVariant>
+shape_variants(const noc::MeshTopology& topo, const std::vector<int>& emb)
+{
+    const int k = static_cast<int>(emb.size());
+    std::vector<ShapeVariant> out;
+    std::vector<std::vector<std::pair<int, int>>> seen_cell_sets;
+    for (int t = 0; t < 8; ++t) {
+        ShapeVariant v;
+        v.cells.resize(k);
+        int min_x = INT32_MAX, min_y = INT32_MAX;
+        for (int p = 0; p < k; ++p) {
+            int x = topo.x_of(emb[p]);
+            int y = topo.y_of(emb[p]);
+            if (t & 4)
+                std::swap(x, y); // transpose
+            if (t & 1)
+                x = -x; // horizontal flip
+            if (t & 2)
+                y = -y; // vertical flip
+            v.cells[p] = {x, y};
+            min_x = std::min(min_x, x);
+            min_y = std::min(min_y, y);
+        }
+        int max_x = 0, max_y = 0;
+        for (auto& [x, y] : v.cells) {
+            x -= min_x;
+            y -= min_y;
+            max_x = std::max(max_x, x);
+            max_y = std::max(max_y, y);
+        }
+        v.w = max_x + 1;
+        v.h = max_y + 1;
+        std::vector<std::pair<int, int>> key = v.cells;
+        std::sort(key.begin(), key.end());
+        bool dup = false;
+        for (const auto& k2 : seen_cell_sets)
+            dup = dup || k2 == key;
+        if (dup)
+            continue;
+        seen_cell_sets.push_back(std::move(key));
+        v.rects = decompose_rects(v.cells, v.w, v.h);
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+/**
+ * Anchor-slide every shape variant over the free set. Each anchor test
+ * is one `CoreSet::test_range` per rectangle row. Returns true and
+ * fills the assignment on the first (variant-major, row-major) hit;
+ * `anchors` accumulates placements tried.
+ */
+bool
+slide_shape(const noc::MeshTopology& topo,
+            const std::vector<ShapeVariant>& variants, const CoreSet& free,
+            std::vector<CoreId>& assignment, std::uint64_t* anchors)
+{
+    for (const ShapeVariant& v : variants) {
+        for (int ay = 0; ay + v.h <= topo.height(); ++ay) {
+            for (int ax = 0; ax + v.w <= topo.width(); ++ax) {
+                ++*anchors;
+                bool fits = true;
+                for (const ShapeRect& r : v.rects) {
+                    for (int row = 0; row < r.h && fits; ++row)
+                        fits = free.test_range(
+                            topo.id_of(ax + r.x, ay + r.y + row), r.w);
+                    if (!fits)
+                        break;
+                }
+                if (!fits)
+                    continue;
+                assignment.resize(v.cells.size());
+                for (std::size_t p = 0; p < v.cells.size(); ++p)
+                    assignment[p] = topo.id_of(ax + v.cells[p].first,
+                                               ay + v.cells[p].second);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
 MappingResult
 TopologyMapper::map_exact(const MappingRequest& req, const CoreSet& free) const
 {
     MappingResult res;
     std::uint64_t seen = 0;
+
+    // An exact image of a disconnected request is itself disconnected;
+    // honor R-3 up front instead of tripping isolation checks later.
+    if (req.require_connected && !req.vtopo.is_connected()) {
+        res.error = "disconnected request topology with "
+                    "require_connected set";
+        return res;
+    }
+
     std::uint64_t req_hash = req.vtopo.wl_hash();
 
-    // Mesh-shaped requests (the dominant case) are matched by sliding
-    // the rectangle over the physical mesh. At DCRA scale the sampled
-    // candidate set below cannot cover the space, so without this the
-    // exact strategy would fail on a completely free 256-core chip.
+    // Phase 1 — sliding rectangle. Mesh-shaped requests (the dominant
+    // case) are matched by sliding the rectangle over the physical
+    // mesh; kept in front of the general machinery so rectangle
+    // placements (and the golden traces built on them) are bit-for-bit
+    // what they were before the complete search existed.
     const int k = req.vtopo.num_nodes();
     for (int vw = 1; vw <= k; ++vw) {
         if (k % vw != 0)
@@ -265,31 +433,85 @@ TopologyMapper::map_exact(const MappingRequest& req, const CoreSet& free) const
         }
     }
 
-    // The mesh graph is only needed by the candidate fallback; the
-    // fast path above returns without paying for it.
+    // The mesh graph is only needed past the fast path.
     graph::Graph mesh = topo_.to_graph();
-    // `seen` so far counts rectangle anchors; collect_candidates
-    // overwrites its out-param, so accumulate the two phases.
-    std::uint64_t cand_seen = 0;
-    for (const graph::NodeMask& m :
-         collect_candidates(req, free, &cand_seen)) {
-        std::vector<int> nodes = graph::Graph::mask_to_nodes(m);
-        graph::Graph sub = mesh.induced(nodes);
-        if (sub.wl_hash() != req_hash)
-            continue;
-        graph::GedResult g = graph::ged(req.vtopo, sub, req.ged);
-        if (g.cost == 0.0) {
+
+    // Cheap rejection before any search: a mesh cannot host a vertex of
+    // degree > 4 (degree-sequence prefilters run inside the search).
+    if (req.vtopo.max_degree() > mesh.max_degree()) {
+        res.candidates_considered = seen;
+        res.error = "request degree exceeds mesh degree "
+                    "(no exact embedding exists)";
+        return res;
+    }
+
+    graph::IsoOptions iso;
+    iso.max_steps = req.exact_search_budget;
+    if (req.ged.node_cost) {
+        // Exact admission under custom node costs: a placement is exact
+        // iff every node substitution is free.
+        const auto& cost = req.ged.node_cost;
+        iso.node_compat = [&cost](int a, int b) {
+            return cost(a, b) == 0.0;
+        };
+    }
+
+    // Phase 2 — polyomino slide. Embed the request once into the
+    // unconstrained mesh; a hit yields a cell shape whose 8 symmetries
+    // slide over the free set in O(rects) bit tests per anchor. Only
+    // valid on label-uniform meshes (translation preserves host labels
+    // there; `to_graph()` meshes are unlabeled).
+    bool uniform = true;
+    for (int v = 1; v < mesh.num_nodes() && uniform; ++v)
+        uniform = mesh.label(v) == mesh.label(0);
+    const CoreSet all = CoreSet::first_n(topo_.num_nodes());
+    if (uniform) {
+        graph::IsoResult shape =
+            graph::find_induced_isomorphism(req.vtopo, mesh, all, iso);
+        res.search_steps += shape.steps;
+        if (!shape.found) {
+            // Not embeddable in the full mesh => not in any free subset.
+            res.candidates_considered = seen;
+            res.budget_exhausted = shape.budget_exhausted;
+            res.error = shape.budget_exhausted
+                            ? "exact search budget exhausted "
+                              "(result inconclusive)"
+                            : "request topology is not embeddable in "
+                              "the physical mesh";
+            return res;
+        }
+        if (slide_shape(topo_, shape_variants(topo_, shape.mapping), free,
+                        res.assignment, &seen)) {
             res.ok = true;
             res.ted = 0.0;
-            res.assignment.resize(nodes.size());
-            for (int v = 0; v < req.vtopo.num_nodes(); ++v)
-                res.assignment[v] = nodes[g.mapping[v]];
-            res.candidates_considered = seen + cand_seen;
+            res.candidates_considered = seen;
             return res;
         }
     }
-    res.error = "no exact topology match available (topology lock-in)";
-    res.candidates_considered = seen + cand_seen;
+
+    // Phase 3 — anchored VF2 over the free-core induced subgraph. The
+    // slide only covers translates of one congruence class; fragmented
+    // free sets can still host an incongruent embedding (e.g. a chain
+    // bent around an obstacle), which this search finds or refutes
+    // within the remaining budget.
+    iso.max_steps = req.exact_search_budget > res.search_steps
+                        ? req.exact_search_budget - res.search_steps
+                        : 1;
+    graph::IsoResult deep =
+        graph::find_induced_isomorphism(req.vtopo, mesh, free, iso);
+    res.search_steps += deep.steps;
+    res.candidates_considered = seen;
+    if (deep.found) {
+        res.ok = true;
+        res.ted = 0.0;
+        res.assignment.assign(deep.mapping.begin(), deep.mapping.end());
+        return res;
+    }
+    res.budget_exhausted = deep.budget_exhausted;
+    res.error = deep.budget_exhausted
+                    ? "exact search budget exhausted (result inconclusive)"
+                    : "no exact topology match available (topology "
+                      "lock-in)";
     return res;
 }
 

@@ -5,7 +5,12 @@
  *
  * Strategies:
  *  - kExact: allocate only a region isomorphic to the request (TED 0);
- *    fail otherwise — this is the "topology lock-in" behaviour.
+ *    fail otherwise — this is the "topology lock-in" behaviour. The
+ *    search is complete at any mesh scale: sliding-rectangle fast path,
+ *    then a rectangle-decomposed polyomino slide of one grid embedding
+ *    (8 symmetries) over the free CoreSet, then an anchored VF2-style
+ *    induced-isomorphism search, budgeted by `exact_search_budget`
+ *    (see docs/sim_kernel.md, "Exact mapping").
  *  - kStraightforward: take the lowest-id free cores (zig-zag); cheap
  *    but ignores adjacency.
  *  - kSimilarTopology: enumerate connected candidate regions (pruned,
@@ -48,8 +53,14 @@ struct MappingRequest {
     MappingStrategy strategy = MappingStrategy::kSimilarTopology;
     /** R-3: reject disconnected regions (ignored by kFragmented). */
     bool require_connected = true;
-    /** Candidate-set budget before sampling kicks in. */
+    /** Candidate-set budget before sampling kicks in (similar/frag). */
     std::uint64_t max_candidates = 400;
+    /**
+     * Backtracking-step budget for the exact-isomorphism search (kExact
+     * only). A miss on a 1024-core mesh terminates within this bound;
+     * `MappingResult::budget_exhausted` reports an inconclusive miss.
+     */
+    std::uint64_t exact_search_budget = graph::kDefaultIsoSearchBudget;
     /** Edit-cost customization (heterogeneous nodes/edges). */
     graph::GedOptions ged;
 };
@@ -62,6 +73,11 @@ struct MappingResult {
     /** Topology edit distance between request and realized region. */
     double ted = 0.0;
     std::uint64_t candidates_considered = 0;
+    /** Exact-search effort: vertex placements attempted (kExact only). */
+    std::uint64_t search_steps = 0;
+    /** True when the exact search gave up on its step budget, so a
+     *  failure does not prove that no isomorphic region exists. */
+    bool budget_exhausted = false;
     std::string error;
 };
 

@@ -156,6 +156,50 @@ class CoreSet {
     /** Lowest set bit, or kCapacity when empty. */
     constexpr int lowest() const { return next(0); }
 
+    /**
+     * The n-th set bit (0-indexed) in ascending id order — an O(kWords)
+     * select, so "pick a uniform element of this set" needs no
+     * materialized node vector. @pre 0 <= n < count()
+     */
+    constexpr int
+    nth(int n) const
+    {
+        VNPU_ASSERT(n >= 0);
+        for (int wi = 0; wi < kWords; ++wi) {
+            const int c = __builtin_popcountll(w_[wi]);
+            if (n < c) {
+                std::uint64_t w = w_[wi];
+                while (n--)
+                    w &= w - 1;
+                return (wi << 6) + __builtin_ctzll(w);
+            }
+            n -= c;
+        }
+        panic("CoreSet::nth beyond population");
+    }
+
+    /** True when every bit of [start, start + len) is set (word-wise). */
+    constexpr bool
+    test_range(int start, int len) const
+    {
+        VNPU_ASSERT(start >= 0 && len >= 0 && start + len <= kCapacity);
+        int wi = start >> 6;
+        int off = start & 63;
+        while (len > 0) {
+            const int take = len < 64 - off ? len : 64 - off;
+            const std::uint64_t mask =
+                (take == 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << take) - 1)
+                << off;
+            if ((w_[wi] & mask) != mask)
+                return false;
+            len -= take;
+            off = 0;
+            ++wi;
+        }
+        return true;
+    }
+
     /** Remove and return the lowest set bit. @pre any() */
     constexpr int
     pop_lowest()

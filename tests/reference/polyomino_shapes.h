@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Polyomino request-shape builders shared by the exact-mapping
+ * differential tests and the `sweep_exact_scale` harness, so the
+ * benched shapes are exactly the tested shapes.
+ */
+
+#ifndef VNPU_TESTS_REFERENCE_POLYOMINO_SHAPES_H
+#define VNPU_TESTS_REFERENCE_POLYOMINO_SHAPES_H
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vnpu::testref {
+
+/** Graph of a cell set: vertex i = cells[i], edges between 4-neighbor
+ *  cells — the topology a mesh region of that shape induces. */
+inline graph::Graph
+shape_graph(const std::vector<std::pair<int, int>>& cells)
+{
+    graph::Graph g(static_cast<int>(cells.size()));
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        for (std::size_t j = i + 1; j < cells.size(); ++j) {
+            int dx = cells[i].first - cells[j].first;
+            int dy = cells[i].second - cells[j].second;
+            if (dx * dx + dy * dy == 1)
+                g.add_edge(static_cast<int>(i), static_cast<int>(j));
+        }
+    return g;
+}
+
+/** L: a thick vertical arm of `arm_a` rows joined to a horizontal arm
+ *  reaching column `arm_b`, both `thick` cells wide. */
+inline std::vector<std::pair<int, int>>
+l_shape(int arm_a, int arm_b, int thick)
+{
+    std::vector<std::pair<int, int>> cells;
+    for (int y = 0; y < arm_a; ++y)
+        for (int x = 0; x < thick; ++x)
+            cells.emplace_back(x, y);
+    for (int x = thick; x < arm_b; ++x)
+        for (int y = arm_a - thick; y < arm_a; ++y)
+            cells.emplace_back(x, y);
+    return cells;
+}
+
+/** T: a `bar`-wide top bar with a centered stem down to row `stem`,
+ *  both `thick` cells wide. */
+inline std::vector<std::pair<int, int>>
+t_shape(int bar, int stem, int thick)
+{
+    std::vector<std::pair<int, int>> cells;
+    for (int x = 0; x < bar; ++x)
+        for (int y = 0; y < thick; ++y)
+            cells.emplace_back(x, y);
+    int mid = (bar - thick) / 2;
+    for (int y = thick; y < stem; ++y)
+        for (int x = mid; x < mid + thick; ++x)
+            cells.emplace_back(x, y);
+    return cells;
+}
+
+/** Plus/cross: two centered `span x thick` bars, overlap deduplicated. */
+inline std::vector<std::pair<int, int>>
+cross_shape(int span, int thick)
+{
+    int mid = (span - thick) / 2;
+    std::set<std::pair<int, int>> dedup;
+    for (int x = 0; x < span; ++x)
+        for (int y = mid; y < mid + thick; ++y)
+            dedup.insert({x, y});
+    for (int y = 0; y < span; ++y)
+        for (int x = mid; x < mid + thick; ++x)
+            dedup.insert({x, y});
+    return {dedup.begin(), dedup.end()};
+}
+
+} // namespace vnpu::testref
+
+#endif // VNPU_TESTS_REFERENCE_POLYOMINO_SHAPES_H

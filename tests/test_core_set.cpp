@@ -144,6 +144,49 @@ TEST(CoreSetTest, ToStringRendersRanges)
     EXPECT_EQ(s.to_string(), "{0-2,9,64-65}");
 }
 
+TEST(CoreSetTest, NthSelectsAscendingSetBits)
+{
+    CoreSet s = CoreSet::of(3) | CoreSet::of(63) | CoreSet::of(64) |
+                CoreSet::of(200) | CoreSet::of(1023);
+    EXPECT_EQ(s.nth(0), 3);
+    EXPECT_EQ(s.nth(1), 63);
+    EXPECT_EQ(s.nth(2), 64);
+    EXPECT_EQ(s.nth(3), 200);
+    EXPECT_EQ(s.nth(4), 1023);
+
+    // nth agrees with iteration order on random sets.
+    Rng rng(21);
+    for (int trial = 0; trial < 50; ++trial) {
+        CoreSet r;
+        int k = 1 + static_cast<int>(rng.next_below(40));
+        for (int i = 0; i < k; ++i)
+            r.set(static_cast<int>(rng.next_below(CoreSet::kCapacity)));
+        int idx = 0;
+        for (int v : r)
+            EXPECT_EQ(r.nth(idx++), v);
+        EXPECT_EQ(idx, r.count());
+    }
+}
+
+TEST(CoreSetTest, TestRangeChecksContiguousRuns)
+{
+    CoreSet s;
+    for (int i = 60; i < 70; ++i)
+        s.set(i); // crosses the word boundary
+    EXPECT_TRUE(s.test_range(60, 10));
+    EXPECT_TRUE(s.test_range(63, 2));
+    EXPECT_TRUE(s.test_range(65, 0)); // empty run is trivially set
+    EXPECT_FALSE(s.test_range(59, 2));
+    EXPECT_FALSE(s.test_range(60, 11));
+    EXPECT_FALSE(s.test_range(0, 1));
+
+    // A full 128-bit run spanning two whole words plus fringes.
+    CoreSet wide = CoreSet::first_n(200).andnot(CoreSet::first_n(50));
+    EXPECT_TRUE(wide.test_range(50, 150));
+    EXPECT_FALSE(wide.test_range(49, 151));
+    EXPECT_FALSE(wide.test_range(50, 151));
+}
+
 TEST(CoreSetTest, TypesHelpersAgree)
 {
     CoreSet s = core_bit(7) | core_bit(700);

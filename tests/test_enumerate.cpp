@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -155,6 +156,95 @@ TEST(SampleTest, SamplesAreConnectedAndCorrectSize)
     // Deduplicated and sorted.
     for (std::size_t i = 1; i < samples.size(); ++i)
         EXPECT_LT(samples[i - 1], samples[i]);
+}
+
+/**
+ * Reference sampler: the pre-reservoir implementation that materialized
+ * a choices vector per growth step. The CoreSet::nth pick must draw the
+ * same node for the same rng stream (the i-th vector entry was the i-th
+ * set bit), so outputs are required to be identical, not just similar.
+ */
+std::vector<NodeMask>
+reference_sample(const Graph& g, int k, const NodeMask& allowed,
+                 int samples, Rng& rng)
+{
+    std::vector<NodeMask> out;
+    if (k <= 0 || allowed.count() < k)
+        return out;
+    std::vector<int> seeds = Graph::mask_to_nodes(allowed);
+    std::vector<int> choices;
+    for (int s = 0; s < samples; ++s) {
+        int seed = seeds[s % seeds.size()];
+        NodeMask sub = NodeMask::of(seed);
+        NodeMask frontier = g.neighbors(seed);
+        for (int size = 1; size < k; ++size) {
+            frontier = (frontier & allowed).andnot(sub);
+            if (frontier.none()) {
+                sub = NodeMask{};
+                break;
+            }
+            choices.clear();
+            for (int v : frontier)
+                choices.push_back(v);
+            int pick = choices[rng.next_below(choices.size())];
+            sub.set(pick);
+            frontier |= g.neighbors(pick);
+        }
+        if (sub.count() == k)
+            out.push_back(sub);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+TEST(SampleTest, ReservoirPickMatchesChoicesVectorReference)
+{
+    // Same seed, same graph => bit-identical sample sets, including
+    // across the 64-node word boundary (9x9 and 16x16 meshes).
+    struct Case {
+        int w, h, k, samples;
+    };
+    for (Case c : {Case{5, 5, 9, 64}, Case{9, 9, 7, 48},
+                   Case{16, 16, 12, 64}}) {
+        Graph g = Graph::mesh(c.w, c.h);
+        NodeMask allowed = full_mask(c.w * c.h);
+        // Punch holes so frontiers shrink mid-growth.
+        for (int id = 3; id < c.w * c.h; id += 11)
+            allowed.reset(id);
+        Rng r1(0x5eed), r2(0x5eed);
+        auto got = sample_connected_subsets(g, c.k, allowed, c.samples, r1);
+        auto want = reference_sample(g, c.k, allowed, c.samples, r2);
+        EXPECT_EQ(got, want) << c.w << "x" << c.h;
+        EXPECT_FALSE(got.empty());
+    }
+}
+
+TEST(SampleTest, GrowthPickIsUniformOverFrontier)
+{
+    // Distribution regression: on a star, the first growth step picks
+    // uniformly among the leaves. Chi-square-ish bound on a seeded run.
+    const int leaves = 7;
+    Graph star(1 + leaves);
+    for (int leaf = 1; leaf <= leaves; ++leaf)
+        star.add_edge(0, leaf);
+    NodeMask allowed = full_mask(1 + leaves);
+    Rng rng(1234);
+    const int trials = 7000;
+    std::vector<int> picked(1 + leaves, 0);
+    for (int t = 0; t < trials; ++t) {
+        // k=2 from seed 0: one growth step over the full leaf frontier.
+        auto s = sample_connected_subsets(star, 2, allowed, 1, rng);
+        ASSERT_EQ(s.size(), 1u);
+        NodeMask m = s[0];
+        m.reset(0);
+        picked[m.lowest()]++;
+    }
+    for (int leaf = 1; leaf <= leaves; ++leaf) {
+        double expectation = static_cast<double>(trials) / leaves;
+        EXPECT_NEAR(picked[leaf], expectation, 0.12 * expectation)
+            << "leaf " << leaf;
+    }
 }
 
 TEST(SampleTest, DeterministicForSameSeed)

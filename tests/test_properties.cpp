@@ -8,6 +8,7 @@
 
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "graph/enumerate.h"
 #include "hyp/topology_mapper.h"
@@ -281,29 +282,35 @@ INSTANTIATE_TEST_SUITE_P(
         CompileCase{"mobilenet", 8, runtime::CommMode::kUvmSync, true,
                     false}));
 
-// ---- Mapper: assignments are valid for every strategy ---------------------
+// ---- Mapper: assignments are valid for every strategy and scale -----------
 
 class MapperStrategyProperty
-    : public ::testing::TestWithParam<hyp::MappingStrategy> {};
+    : public ::testing::TestWithParam<
+          std::tuple<int, hyp::MappingStrategy>> {};
 
 TEST_P(MapperStrategyProperty, AssignmentsAreDistinctFreeCores)
 {
-    hyp::MappingStrategy strat = GetParam();
-    noc::MeshTopology topo(6, 6);
+    const auto [side, strat] = GetParam();
+    noc::MeshTopology topo(side, side);
     hyp::TopologyMapper mapper(topo);
-    Rng rng(99);
+    graph::Graph mesh = topo.to_graph();
+    const int n = side * side;
+    Rng rng(99 + side);
+    int mapped = 0;
     for (int trial = 0; trial < 6; ++trial) {
-        // Random occupancy.
-        CoreSet free = CoreSet::first_n(36);
-        for (int i = 0; i < 8; ++i)
-            free.reset(static_cast<CoreId>(rng.next_below(36)));
-        int k = 4 + static_cast<int>(rng.next_below(8));
+        // Random occupancy, scaled with the mesh.
+        CoreSet free = CoreSet::first_n(n);
+        for (int i = 0; i < n / 4; ++i)
+            free.reset(static_cast<CoreId>(rng.next_below(n)));
+        int k = 4 + static_cast<int>(rng.next_below(8 + side));
         hyp::MappingRequest req;
         req.vtopo = hyp::TopologyMapper::snake_topology(k);
         req.strategy = strat;
+        req.max_candidates = 48;
         hyp::MappingResult r = mapper.map(req, free);
         if (!r.ok)
             continue; // exact may legitimately fail
+        ++mapped;
         std::set<CoreId> used;
         for (CoreId c : r.assignment) {
             EXPECT_TRUE(free.test(c));
@@ -312,17 +319,30 @@ TEST_P(MapperStrategyProperty, AssignmentsAreDistinctFreeCores)
         EXPECT_EQ(static_cast<int>(used.size()), k);
         EXPECT_GE(r.ted, 0.0);
         if (strat == hyp::MappingStrategy::kExact) {
+            // An exact hit is a cost-0 isomorphic placement: the mesh
+            // adjacency of the assigned cores mirrors the request
+            // edge-for-edge.
             EXPECT_EQ(r.ted, 0.0);
+            for (int u = 0; u < k; ++u)
+                for (int v = u + 1; v < k; ++v)
+                    EXPECT_EQ(req.vtopo.has_edge(u, v),
+                              mesh.has_edge(r.assignment[u],
+                                            r.assignment[v]))
+                        << side << "x" << side << " pair (" << u << ","
+                        << v << ")";
         }
     }
+    EXPECT_GT(mapped, 0) << "sweep never exercised a successful map";
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Strategies, MapperStrategyProperty,
-    ::testing::Values(hyp::MappingStrategy::kExact,
-                      hyp::MappingStrategy::kStraightforward,
-                      hyp::MappingStrategy::kSimilarTopology,
-                      hyp::MappingStrategy::kFragmented));
+    StrategiesByMesh, MapperStrategyProperty,
+    ::testing::Combine(
+        ::testing::Values(6, 16, 32),
+        ::testing::Values(hyp::MappingStrategy::kExact,
+                          hyp::MappingStrategy::kStraightforward,
+                          hyp::MappingStrategy::kSimilarTopology,
+                          hyp::MappingStrategy::kFragmented)));
 
 } // namespace
 } // namespace vnpu
