@@ -16,6 +16,7 @@
  * setup time, as a printf table plus BENCH_sweep_alloc_scale.json.
  */
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,15 @@ struct SweepResult {
     /** Simulated meta-table setup cost (deterministic, unlike wall
      *  clock, so harness output stays byte-identical across runs). */
     Cycles setup_cycles = 0;
+    /** Wall-clock admission latency (create/destroy calls), in
+     *  microseconds per admitted request — the one machine-dependent
+     *  column, gated in CI by tools/check_alloc_latency.py. */
+    double us_per_admit = 0.0;
+    // Funnel stage counters (vNPU policies only; zero for MIG).
+    std::uint64_t fn_candidates = 0;
+    std::uint64_t fn_lb_pruned = 0;
+    std::uint64_t fn_memo_hits = 0;
+    std::uint64_t fn_full_ged = 0;
 };
 
 SocConfig
@@ -71,6 +81,7 @@ sweep_vnpu(int side, MappingStrategy strat, const std::vector<int>& sizes)
     SweepResult r;
     std::vector<VmId> live;
     Rng rng(7);
+    const auto wall_start = std::chrono::steady_clock::now();
     for (int size : sizes) {
         // Churn: every third request, retire the oldest tenant first.
         if (live.size() >= 3 && rng.next_below(3) == 0) {
@@ -101,7 +112,19 @@ sweep_vnpu(int side, MappingStrategy strat, const std::vector<int>& sizes)
         }
         r.peak_util = std::max(r.peak_util, hv.core_utilization());
     }
+    const auto wall_end = std::chrono::steady_clock::now();
+    if (r.admitted > 0)
+        r.us_per_admit =
+            std::chrono::duration<double, std::micro>(wall_end -
+                                                      wall_start)
+                .count() /
+            r.admitted;
     r.setup_cycles = hv.stats().setup_cycles.value();
+    const hyp::HypervisorStats& st = hv.stats();
+    r.fn_candidates = st.mapper_funnel_candidates.value();
+    r.fn_lb_pruned = st.mapper_lb_pruned.value();
+    r.fn_memo_hits = st.mapper_memo_hits.value();
+    r.fn_full_ged = st.mapper_full_ged.value();
     return r;
 }
 
@@ -163,7 +186,9 @@ main()
                            std::to_string(side) + "x" +
                                std::to_string(side),
                            {"policy", "admitted", "failed", "peak util",
-                            "mean TED", "setup(clk)"},
+                            "mean TED", "setup(clk)", "us/admit",
+                            "cands", "lb_pruned", "memo_hit",
+                            "full_ged"},
                            12);
         struct Row {
             const char* policy;
@@ -184,7 +209,12 @@ main()
             table.row({row.policy, bench::fmt_u(r.admitted),
                        bench::fmt_u(r.failed), bench::fmt(r.peak_util, 2),
                        bench::fmt(mean_ted, 1),
-                       bench::fmt_u(r.setup_cycles)});
+                       bench::fmt_u(r.setup_cycles),
+                       bench::fmt(r.us_per_admit, 1),
+                       bench::fmt_u(r.fn_candidates),
+                       bench::fmt_u(r.fn_lb_pruned),
+                       bench::fmt_u(r.fn_memo_hits),
+                       bench::fmt_u(r.fn_full_ged)});
         }
     }
     std::printf("\nexact admits fewest (topology lock-in grows with the "

@@ -348,28 +348,84 @@ sample_connected_subsets(const Graph& g, int k, const NodeMask& allowed,
         return out;
 
     std::vector<int> seeds = Graph::mask_to_nodes(allowed);
+    // Word-windowed growth state. The legacy loop filtered the frontier
+    // each step (`frontier = (frontier & allowed).andnot(sub)`) before
+    // carrying it forward; carrying the unfiltered union F and masking
+    // per step is equivalent — `allowed` is constant and `sub` only
+    // grows, so an element removed by an early filter is removed by the
+    // late one too. That makes every step a few words of work inside
+    // the region's window instead of five full-width mask operations.
+    std::uint64_t fr[NodeMask::kWords], sb[NodeMask::kWords];
+    std::uint64_t aw[NodeMask::kWords];
+    for (int wi = 0; wi < NodeMask::kWords; ++wi)
+        aw[wi] = allowed.word(wi);
     for (int s = 0; s < samples; ++s) {
         int seed = seeds[s % seeds.size()];
-        NodeMask sub = NodeMask::of(seed);
-        NodeMask frontier = g.neighbors(seed);
-        // Randomized growth: repeatedly add a random frontier node,
-        // selected directly from the frontier set (CoreSet::nth) — no
-        // per-step choices vector. One rng draw per step, uniform over
-        // the frontier in ascending id order: the exact distribution
-        // (and output sequence) of the old materialized-vector pick.
-        for (int size = 1; size < k; ++size) {
-            frontier = (frontier & allowed).andnot(sub);
-            if (frontier.none()) {
-                sub = NodeMask{};
+        std::fill(fr, fr + NodeMask::kWords, 0);
+        std::fill(sb, sb + NodeMask::kWords, 0);
+        sb[seed >> 6] = std::uint64_t{1} << (seed & 63);
+        int wlo = NodeMask::kWords, whi = -1;
+        {
+            const NodeMask& nb = g.neighbors(seed);
+            for (int wi = 0; wi < NodeMask::kWords; ++wi) {
+                if (std::uint64_t w = nb.word(wi)) {
+                    fr[wi] = w;
+                    wlo = std::min(wlo, wi);
+                    whi = std::max(whi, wi);
+                }
+            }
+        }
+        // Randomized growth: repeatedly add a random frontier node.
+        // One rng draw per step, uniform over the live frontier in
+        // ascending id order: the exact draw sequence (and output) of
+        // the full-width CoreSet count()/nth() implementation.
+        bool dead = false;
+        int size = 1;
+        for (; size < k; ++size) {
+            std::uint64_t live[NodeMask::kWords];
+            int count = 0;
+            for (int wi = wlo; wi <= whi; ++wi) {
+                live[wi] = fr[wi] & aw[wi] & ~sb[wi];
+                count += __builtin_popcountll(live[wi]);
+            }
+            if (count == 0) {
+                dead = true;
                 break; // dead end; try next seed
             }
-            int pick = frontier.nth(static_cast<int>(
-                rng.next_below(frontier.count())));
-            sub.set(pick);
-            frontier |= g.neighbors(pick);
+            int r = static_cast<int>(rng.next_below(count));
+            int pw = wlo;
+            while (true) {
+                int pc = __builtin_popcountll(live[pw]);
+                if (r < pc)
+                    break;
+                r -= pc;
+                ++pw;
+            }
+            std::uint64_t w = live[pw];
+            while (r--)
+                w &= w - 1;
+            int pick = (pw << 6) + __builtin_ctzll(w);
+            sb[pick >> 6] |= std::uint64_t{1} << (pick & 63);
+            const NodeMask& nb = g.neighbors(pick);
+            for (int wi = 0; wi < NodeMask::kWords; ++wi) {
+                if (std::uint64_t nw = nb.word(wi)) {
+                    fr[wi] |= nw;
+                    wlo = std::min(wlo, wi);
+                    whi = std::max(whi, wi);
+                }
+            }
         }
-        if (sub.count() == k)
+        if (!dead && size == k) {
+            NodeMask sub;
+            for (int wi = 0; wi < NodeMask::kWords; ++wi) {
+                std::uint64_t w = sb[wi];
+                while (w) {
+                    sub.set((wi << 6) + __builtin_ctzll(w));
+                    w &= w - 1;
+                }
+            }
             out.push_back(sub);
+        }
     }
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());

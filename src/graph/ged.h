@@ -20,6 +20,8 @@
 #define VNPU_GRAPH_GED_H
 
 #include <functional>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -49,6 +51,18 @@ struct GedOptions {
 
     /** Number of restart seeds for the approximate search. */
     int approx_seeds = 4;
+
+    /**
+     * Prune-only upper bound for the exact search: branches whose
+     * accumulated cost reaches `cost_bound` are cut. `exact_ged` then
+     * returns a bit-identical (cost, mapping) whenever the true minimum
+     * is < cost_bound, and {infinity, {}} otherwise — the caller's
+     * "does this beat my running best?" test is unchanged either way
+     * (the mapper funnel threads its running best through here).
+     * Ignored by `approx_ged`: aborting its 2-opt descent mid-way would
+     * change results. Default: unbounded.
+     */
+    double cost_bound = std::numeric_limits<double>::infinity();
 };
 
 /** Result: the minimal cost found and the realizing node bijection. */
@@ -74,6 +88,73 @@ GedResult approx_ged(const Graph& req, const Graph& cand,
 /** Dispatch: exact for small graphs, approximate otherwise. */
 GedResult ged(const Graph& req, const Graph& cand,
               const GedOptions& opt = {});
+
+/**
+ * Batch scorer for one request against many candidates. Precomputes
+ * everything `ged()` would re-derive per call from the request side
+ * (dense adjacency, degree-sorted anchors, per-seed BFS orders) and
+ * builds each candidate's dense form straight from a host-graph node
+ * mask, skipping the `induced()` materialization.
+ *
+ * `score_subset(host, mask)` returns a result bit-identical to
+ * `ged(req, host.induced(Graph::mask_to_nodes(mask)), opt)`: the
+ * subset keeps ascending node order, so the candidate seen by the
+ * search is the same graph, and the search itself is shared code.
+ * Thread-safe for concurrent calls on one scorer (scratch is
+ * thread-local; the shared request side is read-only).
+ */
+class GedScorer {
+  public:
+    GedScorer(const Graph& req, const GedOptions& opt);
+    ~GedScorer();
+    GedScorer(const GedScorer&) = delete;
+    GedScorer& operator=(const GedScorer&) = delete;
+
+    GedResult score_subset(const Graph& host,
+                           const NodeMask& mask) const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+// ---- Admissible lower bounds ------------------------------------------
+
+/**
+ * Per-graph summary for repeated lower-bound queries: the mapper
+ * precomputes the request side once and derives the candidate side from
+ * the masked mesh adjacency without building an induced Graph.
+ */
+struct GedProfile {
+    std::vector<int> degrees_desc; ///< Degrees, sorted descending.
+    std::vector<int> labels_sorted; ///< Labels, sorted ascending.
+    int num_edges = 0;
+};
+
+GedProfile ged_profile(const Graph& g);
+
+/**
+ * Admissible lower bound on `ged(req, cand, opt)` for equal-size graphs:
+ * any valid bound must never exceed the true minimum, so a candidate
+ * with `ged_lower_bound(...) > best` can be discarded without running
+ * the search.
+ *
+ *  - Node term: the minimum number of label mismatches any bijection
+ *    incurs is the label-multiset difference; each costs 1 under the
+ *    default node cost. Custom `node_cost` => term is 0 (no bound on an
+ *    arbitrary cost function).
+ *  - Edge term: any bijection needs at least
+ *    max(ceil(sum_i |d_req[i] - d_cand[i]| / 2), |E_req - E_cand|)
+ *    edge edits (degree sequences compared sorted; rearrangement
+ *    inequality), each costing at least min(1, edge_ins_cost) under the
+ *    default deletion cost. Custom `edge_del_cost` => only the
+ *    guaranteed-insertion count max(0, E_cand - E_req) * edge_ins_cost
+ *    remains.
+ */
+double ged_lower_bound(const GedProfile& req, const GedProfile& cand,
+                       const GedOptions& opt = {});
+double ged_lower_bound(const Graph& req, const Graph& cand,
+                       const GedOptions& opt = {});
 
 } // namespace vnpu::graph
 

@@ -233,6 +233,85 @@ Graph::wl_hash(int rounds) const
     return h;
 }
 
+std::uint64_t
+Graph::wl_hash_subset(const NodeMask& mask, int rounds) const
+{
+    // Hot path of the mapper's candidate dedup: scratch is reused
+    // across calls (only mask members are ever written then read, so
+    // no per-call clearing), and the word loops only visit mask words
+    // that are populated — candidate regions are local, so most of a
+    // 1024-bit mask is zero.
+    static thread_local std::vector<int> nodes;
+    static thread_local std::vector<std::uint64_t> color, next;
+    static thread_local std::vector<std::uint64_t> folded;
+    static thread_local std::vector<int> nbr_flat, nbr_off;
+    nodes.clear();
+    for (int v : mask) {
+        VNPU_ASSERT(v < n_);
+        nodes.push_back(v);
+    }
+    const int k = static_cast<int>(nodes.size());
+    if (static_cast<int>(color.size()) < n_) {
+        color.resize(n_);
+        next.resize(n_);
+    }
+
+    int live_words[NodeMask::kWords];
+    int n_live = 0;
+    for (int wi = 0; wi < NodeMask::kWords; ++wi)
+        if (mask.word(wi) != 0)
+            live_words[n_live++] = wi;
+
+    // Materialize each member's masked neighbor list once; the rounds
+    // below then run over flat int lists with no word scans at all.
+    nbr_flat.clear();
+    nbr_off.clear();
+    nbr_off.reserve(k + 1);
+    for (int v : nodes) {
+        nbr_off.push_back(static_cast<int>(nbr_flat.size()));
+        const NodeMask& nb = adj_[v];
+        for (int li = 0; li < n_live; ++li) {
+            const int wi = live_words[li];
+            std::uint64_t w = nb.word(wi) & mask.word(wi);
+            while (w) {
+                nbr_flat.push_back((wi << 6) + __builtin_ctzll(w));
+                w &= w - 1;
+            }
+        }
+    }
+    nbr_off.push_back(static_cast<int>(nbr_flat.size()));
+
+    // Colors keyed by original node id; only mask members are touched.
+    // The induced subgraph renumbers nodes, but WL is renumbering-
+    // invariant: per-node colors aggregate neighbors order-independently
+    // and the final fold sorts, so the values coincide exactly.
+    for (int v : nodes)
+        color[v] = mix(0x1234u + static_cast<std::uint64_t>(labels_[v]));
+
+    for (int r = 0; r < rounds; ++r) {
+        for (int vi = 0; vi < k; ++vi) {
+            const int v = nodes[vi];
+            std::uint64_t sum = 0, xored = 0;
+            for (int i = nbr_off[vi]; i < nbr_off[vi + 1]; ++i) {
+                const std::uint64_t c = color[nbr_flat[i]];
+                sum += c;
+                xored ^= mix(c);
+            }
+            next[v] = mix(color[v] ^ mix(sum + 0x9e37) ^ (xored * 3));
+        }
+        color.swap(next);
+    }
+
+    folded.clear();
+    for (int v : nodes)
+        folded.push_back(color[v]);
+    std::sort(folded.begin(), folded.end());
+    std::uint64_t h = 0xcbf29ce484222325ULL + static_cast<unsigned>(k);
+    for (std::uint64_t c : folded)
+        h = mix(h ^ c);
+    return h;
+}
+
 bool
 Graph::operator==(const Graph& other) const
 {

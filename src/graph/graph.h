@@ -103,6 +103,15 @@ class Graph {
      */
     std::uint64_t wl_hash(int rounds = 3) const;
 
+    /**
+     * WL hash of the subgraph induced by `mask`, computed directly on
+     * the masked adjacency. Bit-identical to
+     * `induced(mask_to_nodes(mask)).wl_hash(rounds)` without
+     * materializing a Graph — the candidate-dedup hot path of
+     * `TopologyMapper::collect_candidates` calls this per subset.
+     */
+    std::uint64_t wl_hash_subset(const NodeMask& mask, int rounds = 3) const;
+
     /** Exact structural equality (same ids, same edges, same labels). */
     bool operator==(const Graph& other) const;
 

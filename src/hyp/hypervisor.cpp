@@ -175,6 +175,12 @@ Hypervisor::create(const VnpuSpec& spec)
     stats_.mapper_search_steps += m.search_steps;
     if (m.budget_exhausted)
         ++stats_.mapper_budget_exhausted;
+    stats_.mapper_funnel_candidates += m.funnel_candidates;
+    stats_.mapper_lb_pruned += m.funnel_lb_pruned;
+    stats_.mapper_memo_hits += m.funnel_memo_hits;
+    stats_.mapper_memo_misses += m.funnel_memo_misses;
+    stats_.mapper_ted0_hits += m.funnel_ted0_hits;
+    stats_.mapper_full_ged += m.funnel_full_ged;
     if (!m.ok) {
         ++stats_.allocation_failures;
         fatal("vNPU allocation failed (", to_string(spec.strategy),

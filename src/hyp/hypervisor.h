@@ -58,6 +58,13 @@ struct HypervisorStats {
     Counter route_cache_misses; ///< Confined routes built from scratch.
     Counter mapper_search_steps;    ///< Exact-search placements attempted.
     Counter mapper_budget_exhausted; ///< Exact searches that gave up.
+    // Similar/fragmented scoring-funnel stages (docs/sim_kernel.md):
+    Counter mapper_funnel_candidates; ///< Candidates entering scoring.
+    Counter mapper_lb_pruned;         ///< Dropped by the GED lower bound.
+    Counter mapper_memo_hits;         ///< Scores reused from the memo.
+    Counter mapper_memo_misses;
+    Counter mapper_ted0_hits;         ///< VF2 zero-TED short-circuits.
+    Counter mapper_full_ged;          ///< Full exact/approx GED runs.
 };
 
 /** Manages all virtual NPUs of one physical chip. */

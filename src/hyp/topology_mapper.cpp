@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 #include <limits>
-#include <set>
 
 #include "sim/log.h"
 #include "sim/rng.h"
+#include "sim/task_pool.h"
 
 namespace vnpu::hyp {
 
@@ -49,7 +51,6 @@ TopologyMapper::snake_topology(int n)
             if (std::abs(ci - cj) + std::abs(ri - rj) == 1)
                 g.add_edge(i, j);
         }
-        (void)ri;
     }
     return g;
 }
@@ -82,57 +83,222 @@ TopologyMapper::map(const MappingRequest& req, const CoreSet& free_cores) const
     panic("unknown mapping strategy");
 }
 
-std::vector<graph::NodeMask>
-TopologyMapper::collect_candidates(const MappingRequest& req,
-                                   const CoreSet& free,
-                                   std::uint64_t* seen) const
-{
-    const int k = req.vtopo.num_nodes();
-    graph::Graph mesh = topo_.to_graph();
+namespace {
 
-    std::vector<graph::NodeMask> candidates;
-    std::set<std::uint64_t> topo_hashes; // "one instance per topology"
-    std::uint64_t considered = 0;
-
-    // Whole-free-set request: exactly one candidate exists.
-    if (k == free.count()) {
-        if (mesh.is_connected_subset(free))
-            candidates.push_back(free);
-        *seen = 1;
-        return candidates;
+/**
+ * Flat open-addressing set of 64-bit topology hashes (linear probing,
+ * power-of-two capacity, 0 reserved as the empty slot). Replaces the
+ * `std::set<std::uint64_t>` that allocated a red-black node per insert
+ * on the per-candidate dedup hot path.
+ */
+class HashSet64 {
+  public:
+    explicit HashSet64(std::size_t expect)
+    {
+        std::size_t cap = 16;
+        while (cap < expect * 2)
+            cap <<= 1;
+        slots_.assign(cap, 0);
     }
 
-    auto consider = [&](const graph::NodeMask& m) {
-        ++considered;
-        graph::Graph sub = mesh.induced(graph::Graph::mask_to_nodes(m));
-        if (!topo_hashes.insert(sub.wl_hash()).second)
-            return true; // duplicate shape, prune
-        candidates.push_back(m);
-        return candidates.size() <
-               static_cast<std::size_t>(req.max_candidates);
-    };
+    /** True when `h` was newly inserted. */
+    bool
+    insert(std::uint64_t h)
+    {
+        if (h == 0) { // hash 0 cannot live in a 0-means-empty table
+            bool fresh = !has_zero_;
+            has_zero_ = true;
+            return fresh;
+        }
+        if ((size_ + 1) * 10 >= slots_.size() * 7)
+            grow();
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = (h * 0x9e3779b97f4a7c15ULL) >> 7 & mask;
+        while (slots_[i] != 0) {
+            if (slots_[i] == h)
+                return false;
+            i = (i + 1) & mask;
+        }
+        slots_[i] = h;
+        ++size_;
+        return true;
+    }
 
-    // Exact enumeration while cheap; otherwise deterministic sampling.
-    std::uint64_t space = graph::binomial(free.count(), k);
-    if (space <= 200000) {
-        graph::enumerate_connected_subsets(mesh, k, free, consider,
-                                           req.max_candidates * 512);
-    } else {
-        graph::enumerate_connected_subsets(mesh, k, free, consider,
-                                           req.max_candidates * 4);
+  private:
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> old = std::move(slots_);
+        slots_.assign(old.size() * 2, 0);
+        const std::size_t mask = slots_.size() - 1;
+        for (std::uint64_t h : old) {
+            if (h == 0)
+                continue;
+            std::size_t i = (h * 0x9e3779b97f4a7c15ULL) >> 7 & mask;
+            while (slots_[i] != 0)
+                i = (i + 1) & mask;
+            slots_[i] = h;
+        }
+    }
+
+    std::vector<std::uint64_t> slots_;
+    std::size_t size_ = 0;
+    bool has_zero_ = false;
+};
+
+/**
+ * Streaming candidate collector. The legacy collector ran bounded exact
+ * enumeration and then the deterministic sampler in one shot; splitting
+ * the phases lets the scorer consume the enumerated candidates first
+ * and skip the sampler entirely when they already contain a TED-0
+ * winner (the sampled tail could never have been reached: the scorer
+ * early-exits at the first zero-cost hash-equal candidate).
+ */
+struct CandidateCollector {
+    const MappingRequest& req;
+    const CoreSet& free;
+    const graph::Graph& mesh;
+    HashSet64 dedup; // "one instance per topology"
+    std::vector<graph::NodeMask> masks;
+    std::vector<std::uint64_t> hashes; ///< wl_hash_subset per mask
+    std::uint64_t seen = 0;
+    bool sampling_pending = false;
+
+    CandidateCollector(const MappingRequest& r, const CoreSet& f,
+                       const graph::Graph& m)
+        : req(r), free(f), mesh(m),
+          dedup(static_cast<std::size_t>(
+              std::min<std::uint64_t>(r.max_candidates * 2, 4096)))
+    {
+    }
+
+    bool
+    consider(const graph::NodeMask& m)
+    {
+        ++seen;
+        std::uint64_t h = mesh.wl_hash_subset(m);
+        if (!dedup.insert(h))
+            return true; // duplicate shape, prune
+        masks.push_back(m);
+        hashes.push_back(h);
+        return masks.size() < static_cast<std::size_t>(req.max_candidates);
+    }
+
+    void
+    enumerate_phase()
+    {
+        const int k = req.vtopo.num_nodes();
+        // Whole-free-set request: exactly one candidate exists.
+        if (k == free.count()) {
+            if (mesh.is_connected_subset(free)) {
+                masks.push_back(free);
+                hashes.push_back(mesh.wl_hash_subset(free));
+            }
+            seen = 1;
+            return;
+        }
+        auto cb = [&](const graph::NodeMask& m) { return consider(m); };
+        // Exact enumeration while cheap; otherwise deterministic
+        // sampling (deferred to sample_phase).
+        std::uint64_t space = graph::binomial(free.count(), k);
+        if (space <= 200000) {
+            graph::enumerate_connected_subsets(mesh, k, free, cb,
+                                               req.max_candidates * 512);
+        } else {
+            graph::enumerate_connected_subsets(mesh, k, free, cb,
+                                               req.max_candidates * 4);
+            sampling_pending = true;
+        }
+    }
+
+    void
+    sample_phase()
+    {
+        sampling_pending = false;
+        const int k = req.vtopo.num_nodes();
         Rng rng(0x5eed + static_cast<std::uint64_t>(k));
         auto sampled = graph::sample_connected_subsets(
             mesh, k, free, static_cast<int>(req.max_candidates) * 4, rng);
         for (const graph::NodeMask& m : sampled) {
-            if (candidates.size() >=
+            if (masks.size() >=
                 static_cast<std::size_t>(req.max_candidates) * 2)
                 break;
             consider(m);
         }
     }
-    *seen = considered;
-    return candidates;
+};
+
+/**
+ * Order-dependent request fingerprint for the memo key: node order,
+ * labels, adjacency, and every GedOptions field that shapes a score.
+ * (The iso-invariant wl_hash would be wrong here: GED mappings are
+ * index-order dependent, so two differently-numbered isomorphic
+ * requests must not share memo entries.)
+ */
+std::uint64_t
+request_struct_hash(const MappingRequest& req)
+{
+    const graph::Graph& g = req.vtopo;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto fold = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+        h ^= h >> 29;
+    };
+    fold(static_cast<std::uint64_t>(g.num_nodes()));
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        fold(static_cast<std::uint64_t>(g.label(v)));
+        const graph::NodeMask& nb = g.neighbors(v);
+        for (int w = 0; w < graph::NodeMask::kWords; ++w)
+            fold(nb.word(w));
+    }
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits;
+    std::memcpy(&bits, &req.ged.edge_ins_cost, sizeof(bits));
+    fold(bits);
+    std::memcpy(&bits, &req.ged.cost_bound, sizeof(bits));
+    fold(bits);
+    fold(static_cast<std::uint64_t>(req.ged.exact_limit));
+    fold(static_cast<std::uint64_t>(req.ged.approx_seeds));
+    return h;
 }
+
+/** Candidate-side GedProfile straight from the masked mesh adjacency. */
+graph::GedProfile
+subset_profile(const graph::Graph& mesh, const graph::NodeMask& m)
+{
+    graph::GedProfile p;
+    int degree_sum = 0;
+    for (int v : m) {
+        int d = (mesh.neighbors(v) & m).count();
+        p.degrees_desc.push_back(d);
+        p.labels_sorted.push_back(mesh.label(v));
+        degree_sum += d;
+    }
+    std::sort(p.degrees_desc.begin(), p.degrees_desc.end(),
+              std::greater<int>());
+    std::sort(p.labels_sorted.begin(), p.labels_sorted.end());
+    p.num_edges = degree_sum / 2;
+    return p;
+}
+
+/** Per-candidate scoring outcome (one slot per chunk entry). */
+struct CandidateScore {
+    enum class Kind : std::uint8_t { kPruned, kScored };
+    Kind kind = Kind::kPruned;
+    double cost = 0.0;
+    std::vector<int> mapping;
+    /** Prune bound the score was computed under (memo bookkeeping);
+     *  infinity marks a bound-independent result. */
+    double bound_used = 0.0;
+    bool from_memo = false;
+    bool ted0 = false; ///< resolved by the VF2 zero-TED certificate
+};
+
+constexpr std::size_t kMemoCapacity = 4096; ///< entries; flushed when full
+constexpr std::size_t kScoreChunk = 16;     ///< candidates per pool batch
+
+} // namespace
 
 std::uint64_t
 TopologyMapper::wirelength(const graph::Graph& vtopo,
@@ -546,32 +712,198 @@ TopologyMapper::map_similar(const MappingRequest& req, const CoreSet& free,
     graph::Graph mesh = topo_.to_graph();
     std::uint64_t req_hash = req.vtopo.wl_hash();
 
-    std::uint64_t seen = 0;
-    std::vector<graph::NodeMask> candidates =
-        collect_candidates(req, free, &seen);
+    // Custom cost callbacks disable the funnel stages: an arbitrary
+    // std::function can be neither admissibly lower-bounded, hashed
+    // into a memo key, nor assumed non-negative (the exact-search
+    // prune bound relies on non-negative increments).
+    const bool funnel = req.funnel && !req.ged.node_cost &&
+                        !req.ged.edge_del_cost &&
+                        req.ged.edge_ins_cost >= 0.0;
+
+    CandidateCollector col(req, free, mesh);
+    col.enumerate_phase();
 
     MappingResult res;
-    res.candidates_considered = seen;
-
     double best = std::numeric_limits<double>::infinity();
-    for (const graph::NodeMask& m : candidates) {
-        std::vector<int> nodes = graph::Graph::mask_to_nodes(m);
-        graph::Graph sub = mesh.induced(nodes);
+    const graph::GedProfile req_profile = graph::ged_profile(req.vtopo);
+    const std::uint64_t memo_req_hash =
+        funnel ? request_struct_hash(req) : 0;
+    // Request-side search state (dense form, anchor orders) hoisted out
+    // of the per-candidate loop; scoring through it is bit-identical to
+    // graph::ged against the induced candidate subgraph.
+    const graph::GedScorer scorer(req.vtopo, req.ged);
 
-        // Early exit: candidate topology equals the request (Line 22).
-        bool maybe_exact = sub.wl_hash() == req_hash;
-        graph::GedResult g = graph::ged(req.vtopo, sub, req.ged);
-        if (g.cost < best) {
-            best = g.cost;
-            res.assignment.assign(k, kInvalidCore);
-            for (int v = 0; v < k; ++v)
-                res.assignment[v] = nodes[g.mapping[v]];
-            res.ted = g.cost;
-            res.ok = true;
-            if (maybe_exact && g.cost == 0.0)
-                return res; // already adjacency-perfect
+    // Staged scorer over col.masks[lo..): chunked so the prune bound
+    // refreshes between pool batches; returns true on the TED-0 early
+    // exit. Reduction is sequential in candidate index order, so the
+    // decision is bit-identical to the legacy one-candidate-at-a-time
+    // loop (and to any worker count).
+    auto score_range = [&](std::size_t lo) -> bool {
+        while (lo < col.masks.size()) {
+            const std::size_t hi =
+                std::min(col.masks.size(), lo + kScoreChunk);
+            const std::size_t n_slots = hi - lo;
+            const double bound = best; // frozen for this chunk
+            std::vector<CandidateScore> slots(n_slots);
+            std::vector<int> runnable; // slots needing a GED run
+
+            // Stages 2+3 (sequential pre-pass): memo probe, then the
+            // admissible lower bound against the chunk bound.
+            for (std::size_t s = 0; s < n_slots; ++s) {
+                const std::size_t i = lo + s;
+                ++res.funnel_candidates;
+                if (!funnel) {
+                    runnable.push_back(static_cast<int>(s));
+                    continue;
+                }
+                auto it =
+                    memo_.find(MemoKey{memo_req_hash, col.masks[i]});
+                if (it != memo_.end() &&
+                    (it->second.cost < it->second.bound_used ||
+                     bound <= it->second.bound_used)) {
+                    ++res.funnel_memo_hits;
+                    slots[s].kind = CandidateScore::Kind::kScored;
+                    slots[s].cost = it->second.cost;
+                    slots[s].mapping = it->second.mapping;
+                    slots[s].from_memo = true;
+                    continue;
+                }
+                ++res.funnel_memo_misses;
+                if (graph::ged_lower_bound(
+                        req_profile, subset_profile(mesh, col.masks[i]),
+                        req.ged) > bound) {
+                    ++res.funnel_lb_pruned; // cost >= lb > any later best
+                    continue;
+                }
+                runnable.push_back(static_cast<int>(s));
+            }
+
+            // Stages 1+4: score surviving candidates. Each slot is a
+            // pure function of (request, mesh, mask, bound) writing its
+            // own result, so the pool introduces no nondeterminism.
+            auto run_one = [&](int ri) {
+                const std::size_t s =
+                    static_cast<std::size_t>(runnable[ri]);
+                const std::size_t i = lo + s;
+                CandidateScore& out = slots[s];
+                graph::GedResult g;
+                if (k > req.ged.exact_limit) {
+                    // The hot path: approximate scoring through the
+                    // hoisted request-side state (== graph::ged on the
+                    // induced subgraph, bit for bit).
+                    g = scorer.score_subset(mesh, col.masks[i]);
+                    out.bound_used =
+                        std::numeric_limits<double>::infinity();
+                    out.kind = CandidateScore::Kind::kScored;
+                    out.cost = g.cost;
+                    out.mapping = std::move(g.mapping);
+                    return;
+                }
+                graph::Graph sub = mesh.induced(
+                    graph::Graph::mask_to_nodes(col.masks[i]));
+                graph::GedOptions opt = req.ged;
+                bool ran_full = true;
+                if (funnel && col.hashes[i] == req_hash) {
+                    // TED-0 stage: the VF2 engine certifies that a
+                    // zero-cost bijection exists, then the zero-bounded
+                    // exact search reproduces the canonical (DFS-first)
+                    // zero mapping without exploring any paid branch.
+                    graph::IsoOptions io;
+                    io.max_steps = 1u << 20;
+                    graph::IsoResult iso =
+                        graph::find_induced_isomorphism(
+                            req.vtopo, sub, CoreSet::first_n(k), io);
+                    if (iso.found) {
+                        opt.cost_bound =
+                            std::numeric_limits<double>::min();
+                        g = graph::exact_ged(req.vtopo, sub, opt);
+                        out.ted0 = true;
+                        out.bound_used =
+                            std::numeric_limits<double>::infinity();
+                        ran_full = false;
+                    }
+                }
+                if (ran_full) {
+                    if (funnel) {
+                        // Thread the running best in as a prune bound:
+                        // a result worse than `bound` could never win,
+                        // so the search may abandon it early.
+                        opt.cost_bound = std::min(opt.cost_bound, bound);
+                        g = graph::exact_ged(req.vtopo, sub, opt);
+                        out.bound_used =
+                            g.mapping.empty()
+                                ? opt.cost_bound
+                                : std::numeric_limits<double>::infinity();
+                    } else {
+                        g = graph::ged(req.vtopo, sub, req.ged);
+                        out.bound_used =
+                            std::numeric_limits<double>::infinity();
+                    }
+                }
+                out.kind = CandidateScore::Kind::kScored;
+                out.cost = g.cost;
+                out.mapping = std::move(g.mapping);
+            };
+            if (funnel) {
+                TaskPool::instance().parallel_for(
+                    0, static_cast<int>(runnable.size()), run_one);
+            } else {
+                // Custom cost callbacks may not be thread-safe; score
+                // on the calling thread like the legacy loop did.
+                for (int ri = 0; ri < static_cast<int>(runnable.size());
+                     ++ri)
+                    run_one(ri);
+            }
+
+            // Memo insert + reduction, in candidate index order.
+            for (std::size_t s = 0; s < n_slots; ++s) {
+                CandidateScore& sc = slots[s];
+                if (sc.kind == CandidateScore::Kind::kPruned)
+                    continue;
+                const std::size_t i = lo + s;
+                if (!sc.from_memo) {
+                    if (sc.ted0)
+                        ++res.funnel_ted0_hits;
+                    else
+                        ++res.funnel_full_ged;
+                    if (funnel) {
+                        if (memo_.size() >= kMemoCapacity)
+                            memo_.clear();
+                        memo_[MemoKey{memo_req_hash, col.masks[i]}] =
+                            MemoEntry{sc.cost, sc.mapping,
+                                      sc.bound_used};
+                    }
+                }
+                if (sc.cost < best) {
+                    best = sc.cost;
+                    std::vector<int> nodes =
+                        graph::Graph::mask_to_nodes(col.masks[i]);
+                    res.assignment.assign(k, kInvalidCore);
+                    for (int v = 0; v < k; ++v)
+                        res.assignment[v] = nodes[sc.mapping[v]];
+                    res.ted = sc.cost;
+                    res.ok = true;
+                    // Early exit: candidate topology equals the
+                    // request (Line 22) — already adjacency-perfect.
+                    if (col.hashes[i] == req_hash && sc.cost == 0.0)
+                        return true;
+                }
+            }
+            lo = hi;
         }
+        return false;
+    };
+
+    bool adjacency_perfect = score_range(0);
+    if (!adjacency_perfect && col.sampling_pending) {
+        const std::size_t lo = col.masks.size();
+        col.sample_phase();
+        adjacency_perfect = score_range(lo);
     }
+    res.candidates_considered = col.seen;
+    if (adjacency_perfect)
+        return res;
+
     if (res.ok) {
         // TED ranks candidates; within the winner, keep the endpoints
         // of unmatched virtual edges physically close (an unmatched

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/enumerate.h"
@@ -63,6 +64,16 @@ struct MappingRequest {
     std::uint64_t exact_search_budget = graph::kDefaultIsoSearchBudget;
     /** Edit-cost customization (heterogeneous nodes/edges). */
     graph::GedOptions ged;
+    /**
+     * Enable the staged candidate-scoring funnel for the similar /
+     * fragmented strategies (TED-0 early exit, admissible lower-bound
+     * pruning, score memoization, pooled scoring). Decisions are
+     * bit-identical with the funnel on or off (see docs/sim_kernel.md,
+     * "Admission funnel"); `false` exists for differential testing.
+     * Custom edit-cost callbacks fall back to the unfunneled scorer
+     * automatically (they can be neither bounded nor memo-keyed).
+     */
+    bool funnel = true;
 };
 
 /** Allocation outcome. */
@@ -79,6 +90,14 @@ struct MappingResult {
      *  failure does not prove that no isomorphic region exists. */
     bool budget_exhausted = false;
     std::string error;
+
+    // ---- Similar/fragmented funnel stage counters --------------------
+    std::uint64_t funnel_candidates = 0; ///< Candidates entering scoring.
+    std::uint64_t funnel_lb_pruned = 0;  ///< Discarded by lower bound.
+    std::uint64_t funnel_memo_hits = 0;  ///< Scores reused from the memo.
+    std::uint64_t funnel_memo_misses = 0;
+    std::uint64_t funnel_ted0_hits = 0;  ///< Zero-TED short-circuits.
+    std::uint64_t funnel_full_ged = 0;   ///< Full exact/approx GED runs.
 };
 
 /** Maps requested virtual topologies onto free physical cores. */
@@ -115,13 +134,43 @@ class TopologyMapper {
                                       const CoreSet& free) const;
     MappingResult map_similar(const MappingRequest& req, const CoreSet& free,
                               bool allow_fragmented) const;
-    std::vector<graph::NodeMask> collect_candidates(
-        const MappingRequest& req, const CoreSet& free,
-        std::uint64_t* seen) const;
 
     /** 2-opt swaps of the assignment minimizing wirelength. */
     void refine_wirelength(const graph::Graph& vtopo,
                            std::vector<CoreId>& assignment) const;
+
+    // ---- Candidate-score memo (funnel stage 3) -----------------------
+    // Keyed by (order-dependent request structure hash, candidate
+    // region); fragmentation churn re-offers the same regions, so prior
+    // GED results are reused verbatim. See docs/sim_kernel.md.
+    struct MemoKey {
+        std::uint64_t req_hash;
+        CoreSet region;
+        bool
+        operator==(const MemoKey& o) const
+        {
+            return req_hash == o.req_hash && region == o.region;
+        }
+    };
+    struct MemoKeyHash {
+        std::size_t
+        operator()(const MemoKey& k) const
+        {
+            return k.region.hash() ^
+                   (k.req_hash * 0x9e3779b97f4a7c15ULL);
+        }
+    };
+    struct MemoEntry {
+        double cost; ///< infinity when no bijection beat `bound_used`.
+        std::vector<int> mapping;
+        /** Exact-search prune bound in force when `cost` was computed:
+         *  infinity marks a bound-independent (exact) result; a finite
+         *  value only proves "true minimum >= bound_used". */
+        double bound_used;
+    };
+    /** Size-bounded (flushed when full); mutable: map() is logically
+     *  const and the memo is a pure cache. */
+    mutable std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> memo_;
 
     const noc::MeshTopology& topo_;
 };

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * A small persistent worker pool for data-parallel scoring loops (the
+ * topology mapper's candidate-scoring funnel).
+ *
+ * Design constraints (see docs/sim_kernel.md, "Admission funnel"):
+ *  - Deterministic by construction: `parallel_for(begin, end, fn)` runs
+ *    `fn(i)` exactly once per index and owns no shared mutable state;
+ *    callers write per-index result slots and reduce sequentially
+ *    afterwards, so outcomes are bit-identical for any worker count
+ *    (including zero, where the loop runs inline on the caller).
+ *  - Lazy and persistent: threads start on first use and live for the
+ *    process, so a call costs one mutex/cv round trip, not thread
+ *    creation.
+ *  - The calling thread participates in the work, so a 1-CPU host (or
+ *    `VNPU_TASK_POOL_THREADS=0`) degrades to a plain sequential loop.
+ *  - Each job is an immutable heap object shared via `shared_ptr`; a
+ *    worker only touches a job it snapshotted under the pool mutex, so
+ *    late-exiting workers can never observe a half-installed successor
+ *    job (TSan-clean by construction).
+ *  - Exceptions from `fn` are captured; the first is rethrown on the
+ *    caller once every index has run.
+ */
+
+#ifndef VNPU_SIM_TASK_POOL_H
+#define VNPU_SIM_TASK_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vnpu {
+
+class TaskPool {
+  public:
+    /** Process-wide pool (threads = cores - 1, capped; see ctor). */
+    static TaskPool&
+    instance()
+    {
+        static TaskPool pool;
+        return pool;
+    }
+
+    int num_workers() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Run `fn(i)` for every i in [begin, end), blocking until all
+     * complete. `fn` must be safe to call concurrently from multiple
+     * threads. Serialized across callers (one job at a time); nested
+     * calls from inside `fn` run inline on the calling thread.
+     */
+    void
+    parallel_for(int begin, int end, const std::function<void(int)>& fn)
+    {
+        if (end - begin <= 1 || workers_.empty() || draining_) {
+            for (int i = begin; i < end; ++i)
+                fn(i);
+            return;
+        }
+
+        std::lock_guard<std::mutex> serial(serial_mu_);
+        auto job = std::make_shared<Job>(fn, begin, end);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            job_ = job;
+        }
+        cv_.notify_all();
+
+        drain(*job); // the caller is a worker too
+
+        std::unique_lock<std::mutex> lk(mu_);
+        done_cv_.wait(lk, [&] {
+            return job->pending.load(std::memory_order_acquire) == 0;
+        });
+        if (job_ == job)
+            job_ = nullptr;
+        lk.unlock();
+        if (job->error)
+            std::rethrow_exception(job->error);
+    }
+
+    ~TaskPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread& t : workers_)
+            t.join();
+    }
+
+  private:
+    struct Job {
+        Job(const std::function<void(int)>& f, int begin, int e)
+            : fn(f), next(begin), end(e), pending(e - begin)
+        {
+        }
+        const std::function<void(int)>& fn;
+        std::atomic<int> next;
+        const int end;
+        std::atomic<int> pending;
+        std::exception_ptr error; ///< first failure; guarded by pool mu_
+    };
+
+    TaskPool()
+    {
+        int n = default_threads();
+        workers_.reserve(n);
+        for (int i = 0; i < n; ++i)
+            workers_.emplace_back([this] { worker_loop(); });
+    }
+
+    static int
+    default_threads()
+    {
+        if (const char* env = std::getenv("VNPU_TASK_POOL_THREADS"))
+            return std::max(0, std::min(std::atoi(env), 64));
+        int hw = static_cast<int>(std::thread::hardware_concurrency());
+        return std::max(0, std::min(hw - 1, 8));
+    }
+
+    /** Claim and run indices of `job` until it is exhausted. */
+    void
+    drain(Job& job)
+    {
+        draining_ = true;
+        while (true) {
+            int i = job.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= job.end)
+                break;
+            try {
+                job.fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (!job.error)
+                    job.error = std::current_exception();
+            }
+            if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lk(mu_);
+                done_cv_.notify_all();
+            }
+        }
+        draining_ = false;
+    }
+
+    void
+    worker_loop()
+    {
+        while (true) {
+            std::shared_ptr<Job> job;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_.wait(lk, [&] { return stop_ || job_ != nullptr; });
+                if (stop_)
+                    return;
+                job = job_;
+            }
+            drain(*job);
+            // Exhausted: retire the slot so the cv predicate goes false
+            // (running workers keep the job alive via their snapshot).
+            std::lock_guard<std::mutex> lk(mu_);
+            if (job_ == job)
+                job_ = nullptr;
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex serial_mu_; ///< one parallel_for at a time
+    std::mutex mu_;
+    std::condition_variable cv_;      ///< worker wake-up
+    std::condition_variable done_cv_; ///< caller completion wait
+    std::shared_ptr<Job> job_;        ///< claimable job; guarded by mu_
+    bool stop_ = false;
+    /** True while this thread runs job indices (nested calls inline). */
+    inline static thread_local bool draining_ = false;
+};
+
+} // namespace vnpu
+
+#endif // VNPU_SIM_TASK_POOL_H

@@ -186,5 +186,25 @@ TEST(GraphHashProperty, LabelChangesHash)
     EXPECT_NE(a.wl_hash(), b.wl_hash());
 }
 
+TEST(GraphHashProperty, SubsetHashMatchesInducedGraphHash)
+{
+    // wl_hash_subset avoids materializing the induced subgraph but must
+    // produce the exact value induced(...).wl_hash() would — including
+    // across word boundaries and with labels.
+    Rng rng(7);
+    Graph g = random_graph(90, 0.1, rng);
+    for (int v = 0; v < 90; v += 7)
+        g.set_label(v, 1 + static_cast<int>(rng.next_below(3)));
+    for (int trial = 0; trial < 40; ++trial) {
+        NodeMask mask;
+        int k = 1 + static_cast<int>(rng.next_below(30));
+        while (mask.count() < k)
+            mask.set(static_cast<int>(rng.next_below(90)));
+        EXPECT_EQ(g.wl_hash_subset(mask),
+                  g.induced(Graph::mask_to_nodes(mask)).wl_hash())
+            << "trial " << trial;
+    }
+}
+
 } // namespace
 } // namespace vnpu::graph

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Admission-latency regression gate for the mapper funnel (ISSUE 6).
+
+Reads the machine-readable sweep output (``BENCH_sweep_alloc_scale.json``)
+and compares the gated cases against the committed baseline
+(``tools/alloc_latency_baseline.json``):
+
+* ``us_admit`` may not regress more than ``max_ratio`` (default 2x) over
+  the baseline value — wall-clock, so the factor absorbs normal CI host
+  jitter while still catching an accidental return to per-candidate
+  full-GED scoring (a ~14x cliff).
+* admission decisions (``admitted``/``failed``/``mean_ted``) must match
+  the baseline exactly: the funnel's contract is bit-identical decisions,
+  and those fields are deterministic for a fixed rng seed.
+
+Exit status: 0 ok, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json",
+                    help="path to BENCH_sweep_alloc_scale.json")
+    ap.add_argument("--baseline",
+                    default="tools/alloc_latency_baseline.json")
+    ap.add_argument("--max-ratio", type=float, default=2.0,
+                    help="fail when us_admit exceeds baseline * ratio")
+    args = ap.parse_args()
+
+    bench = {c["name"]: c for c in load(args.bench_json)["cases"]}
+    baseline = load(args.baseline)
+
+    failures = []
+    for name, base in baseline["cases"].items():
+        cur = bench.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from bench output")
+            continue
+        for field in ("admitted", "failed", "mean_ted"):
+            if cur.get(field) != base[field]:
+                failures.append(
+                    f"{name}: {field} changed "
+                    f"{base[field]} -> {cur.get(field)} "
+                    "(admission decisions must be deterministic)")
+        limit = base["us_admit"] * args.max_ratio
+        if cur.get("us_admit", float("inf")) > limit:
+            failures.append(
+                f"{name}: us_admit {cur.get('us_admit')} > "
+                f"{limit:.1f} ({args.max_ratio}x baseline "
+                f"{base['us_admit']})")
+        else:
+            print(f"ok: {name} us_admit {cur.get('us_admit')} "
+                  f"<= {limit:.1f}")
+
+    if failures:
+        print("admission latency regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
