@@ -10,11 +10,66 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+
 namespace vnpu::bench {
+
+/**
+ * Opt-in tracing for a harness run: `--trace out.json` (or
+ * `--trace=out.json`) installs a ChromeTraceWriter as the global sink
+ * for the harness's lifetime. Without the flag this is inert and the
+ * run stays on the zero-overhead path. Status lines go to stderr so
+ * stdout remains byte-identical with an untraced run's golden output.
+ */
+class TraceSession {
+  public:
+    TraceSession(int argc, char** argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--trace" && i + 1 < argc)
+                path_ = argv[++i];
+            else if (a.rfind("--trace=", 0) == 0)
+                path_ = a.substr(8);
+        }
+        if (path_.empty())
+            return;
+        writer_ = std::make_unique<obs::ChromeTraceWriter>(path_);
+        if (!writer_->ok()) {
+            std::fprintf(stderr, "[trace: cannot open %s]\n",
+                         path_.c_str());
+            writer_.reset();
+            return;
+        }
+        obs::set_sink(writer_.get());
+    }
+
+    TraceSession(const TraceSession&) = delete;
+    TraceSession& operator=(const TraceSession&) = delete;
+
+    ~TraceSession()
+    {
+        if (!writer_)
+            return;
+        obs::set_sink(nullptr);
+        writer_->close();
+        std::fprintf(stderr, "[trace: %llu events -> %s]\n",
+                     static_cast<unsigned long long>(writer_->num_events()),
+                     path_.c_str());
+    }
+
+    bool active() const { return writer_ != nullptr; }
+
+  private:
+    std::string path_;
+    std::unique_ptr<obs::ChromeTraceWriter> writer_;
+};
 
 /** JSON string-literal escaping for names/labels that reach write(). */
 inline std::string

@@ -21,8 +21,9 @@ using runtime::Machine;
 using runtime::WorkloadLauncher;
 
 int
-main()
+main(int argc, char** argv)
 {
+    vnpu::bench::TraceSession trace_session(argc, argv);
     bench::banner("Figure 6",
                   "Global-memory address trace, ResNet on 4 cores");
 

@@ -79,8 +79,9 @@ broadcast_uvm(const Kernel& k, int receivers)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    vnpu::bench::TraceSession trace_session(argc, argv);
     bench::banner("Figure 13",
                   "Broadcast cost: vRouter vs UVM memory synchronization");
 

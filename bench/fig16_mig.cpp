@@ -168,8 +168,9 @@ chip(bench::JsonReport& report, const char* prefix, const char* title,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    vnpu::bench::TraceSession trace_session(argc, argv);
     bench::banner("Figure 16",
                   "vNPU vs MIG: performance and warm-up, two tenants");
     bench::JsonReport report("fig16_mig");

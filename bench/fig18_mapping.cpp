@@ -83,8 +83,9 @@ run_exact_fps(const std::string& model, int cores)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    vnpu::bench::TraceSession trace_session(argc, argv);
     bench::banner("Figure 17/18",
                   "Similar-topology vs straightforward (zig-zag) mapping");
 

@@ -119,12 +119,20 @@ sweep_vnpu(int side, MappingStrategy strat, const std::vector<int>& sizes)
                                                       wall_start)
                 .count() /
             r.admitted;
-    r.setup_cycles = hv.stats().setup_cycles.value();
-    const hyp::HypervisorStats& st = hv.stats();
-    r.fn_candidates = st.mapper_funnel_candidates.value();
-    r.fn_lb_pruned = st.mapper_lb_pruned.value();
-    r.fn_memo_hits = st.mapper_memo_hits.value();
-    r.fn_full_ged = st.mapper_full_ged.value();
+    // Read the totals through the uniform telemetry sweep rather than
+    // hand-copying HypervisorStats fields; the counter values are
+    // integers far below 2^53, so the double round-trip is exact.
+    StatSet st;
+    hv.collect_stats(st);
+    r.setup_cycles = static_cast<Cycles>(st.get("hyp.setup_cycles", 0.0));
+    r.fn_candidates =
+        static_cast<std::uint64_t>(st.get("hyp.funnel.candidates", 0.0));
+    r.fn_lb_pruned =
+        static_cast<std::uint64_t>(st.get("hyp.funnel.lb_pruned", 0.0));
+    r.fn_memo_hits =
+        static_cast<std::uint64_t>(st.get("hyp.funnel.memo_hits", 0.0));
+    r.fn_full_ged =
+        static_cast<std::uint64_t>(st.get("hyp.funnel.full_ged", 0.0));
     return r;
 }
 
@@ -170,8 +178,9 @@ sweep_mig(int side, const std::vector<int>& sizes)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Scale sweep",
                   "Allocation/fragmentation churn on 256- and 1024-core "
                   "meshes (exact vs similar vs MIG)");

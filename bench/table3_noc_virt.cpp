@@ -68,8 +68,9 @@ measure(std::uint64_t packets, bool virtualized)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    vnpu::bench::TraceSession trace_session(argc, argv);
     bench::banner("Table 3",
                   "NoC virtualization: send/recv clocks, bare vs vRouter");
     bench::JsonReport report("table3_noc_virt");

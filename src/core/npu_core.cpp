@@ -53,6 +53,26 @@ NpuCore::reset()
 }
 
 void
+NpuCore::collect_stats(StatSet& out, const std::string& prefix) const
+{
+    for (const auto& ctx : ctxs_) {
+        const ContextStats& s = ctx->stats;
+        out.add(prefix + "busy_compute", static_cast<double>(s.busy_compute));
+        out.add(prefix + "busy_dma", static_cast<double>(s.busy_dma));
+        out.add(prefix + "busy_send", static_cast<double>(s.busy_send));
+        out.add(prefix + "busy_switch", static_cast<double>(s.busy_switch));
+        out.add(prefix + "wait_recv", static_cast<double>(s.wait_recv));
+        out.add(prefix + "vrouter_cycles",
+                static_cast<double>(s.vrouter_cycles));
+        out.add(prefix + "instructions",
+                static_cast<double>(s.instructions));
+        out.add(prefix + "flops", static_cast<double>(s.flops));
+        out.add(prefix + "iterations", static_cast<double>(s.iterations));
+    }
+    out.add(prefix + "contexts", static_cast<double>(ctxs_.size()));
+}
+
+void
 NpuCore::schedule_step(Tick when)
 {
     eq_.schedule(std::max(when, eq_.now()), [this] { step(); });

@@ -122,6 +122,10 @@ class NpuCore {
     CoreId id() const { return id_; }
     mem::DmaEngine& dma() { return dma_; }
 
+    /** Telemetry sweep: context totals summed across this core's
+     *  contexts; `add()` keys aggregate across cores sharing a prefix. */
+    void collect_stats(StatSet& out, const std::string& prefix) const;
+
     /** Drop all contexts and state (between experiments). */
     void reset();
 

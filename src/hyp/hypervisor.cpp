@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace vnpu::hyp {
@@ -153,6 +154,8 @@ Hypervisor::build_range_table(VmId vm, std::uint64_t bytes)
 virt::VirtualNpu&
 Hypervisor::create(const VnpuSpec& spec)
 {
+    const Tick t0 = obs::sim_now();
+
     // 1. Resolve the requested virtual topology.
     graph::Graph vtopo =
         spec.topo ? *spec.topo : TopologyMapper::snake_topology(
@@ -162,6 +165,11 @@ Hypervisor::create(const VnpuSpec& spec)
         fatal("spec.num_cores (", spec.num_cores,
               ") contradicts spec.topo size (", spec.topo->num_nodes(), ")");
     }
+
+    AdmissionAuditEntry audit;
+    audit.sim_time = t0;
+    audit.requested_cores = vtopo.num_nodes();
+    audit.strategy = spec.strategy;
 
     // 2. Allocate physical cores via the chosen strategy.
     MappingRequest mreq;
@@ -181,14 +189,42 @@ Hypervisor::create(const VnpuSpec& spec)
     stats_.mapper_memo_misses += m.funnel_memo_misses;
     stats_.mapper_ted0_hits += m.funnel_ted0_hits;
     stats_.mapper_full_ged += m.funnel_full_ged;
+    audit.search_steps = m.search_steps;
+    audit.funnel_candidates = m.funnel_candidates;
+    audit.funnel_lb_pruned = m.funnel_lb_pruned;
+    audit.funnel_memo_hits = m.funnel_memo_hits;
+    audit.funnel_ted0_hits = m.funnel_ted0_hits;
+    audit.funnel_full_ged = m.funnel_full_ged;
     if (!m.ok) {
         ++stats_.allocation_failures;
+        audit.error = m.error;
+        record_admission(std::move(audit), t0);
         fatal("vNPU allocation failed (", to_string(spec.strategy),
               ", ", vtopo.num_nodes(), " cores): ", m.error);
     }
+    audit.ted = m.ted;
 
     VmId vm = next_vm_++;
+    audit.vm = vm;
 
+    // Setup failures past this point (disconnected-region isolation,
+    // HBM exhaustion, meta-zone overflow) must land in the audit log
+    // too, so the whole provisioning path is wrapped.
+    try {
+        return create_provision(spec, vtopo, m, vm, audit, t0);
+    } catch (const std::exception& e) {
+        audit.error = e.what();
+        record_admission(std::move(audit), t0);
+        throw;
+    }
+}
+
+virt::VirtualNpu&
+Hypervisor::create_provision(const VnpuSpec& spec,
+                             const graph::Graph& vtopo,
+                             const MappingResult& m, VmId vm,
+                             AdmissionAuditEntry& audit, Tick t0)
+{
     // 3. Routing table: compact mesh2d encoding when the region is a
     //    row-major rectangle, standard entries otherwise.
     std::optional<virt::RoutingTable> rt = try_compact_rt(vm, m.assignment);
@@ -246,7 +282,70 @@ Hypervisor::create(const VnpuSpec& spec)
     free_ = free_.andnot(mask);
     virt::VirtualNpu& ref = *vnpu;
     vnpus_[vm] = std::move(vnpu);
+
+    audit.admitted = true;
+    audit.setup_cycles = cost;
+    record_admission(std::move(audit), t0);
     return ref;
+}
+
+void
+Hypervisor::record_admission(AdmissionAuditEntry e, Tick t0)
+{
+    // The span's duration is the modeled meta-table deployment cost
+    // (the sim clock itself does not advance inside create()).
+    VNPU_TRACE(emit_complete(
+        "admission", "hyp", t0, e.setup_cycles, obs::kTrackHyp,
+        {obs::arg("vm", e.vm), obs::arg("cores", e.requested_cores),
+         obs::arg("strategy", to_string(e.strategy)),
+         obs::arg("ok", e.admitted ? 1 : 0), obs::arg("ted", e.ted),
+         obs::arg("search_steps", e.search_steps),
+         obs::arg("candidates", e.funnel_candidates),
+         obs::arg("lb_pruned", e.funnel_lb_pruned),
+         obs::arg("memo_hits", e.funnel_memo_hits),
+         obs::arg("ted0_hits", e.funnel_ted0_hits),
+         obs::arg("full_ged", e.funnel_full_ged)}));
+    audit_.push(std::move(e));
+}
+
+void
+Hypervisor::collect_stats(StatSet& out, const std::string& prefix) const
+{
+    out.add(prefix + "vnpus_created",
+            static_cast<double>(stats_.vnpus_created.value()));
+    out.add(prefix + "vnpus_destroyed",
+            static_cast<double>(stats_.vnpus_destroyed.value()));
+    out.add(prefix + "allocation_failures",
+            static_cast<double>(stats_.allocation_failures.value()));
+    out.add(prefix + "setup_cycles",
+            static_cast<double>(stats_.setup_cycles.value()));
+    out.add(prefix + "route_cache.hits",
+            static_cast<double>(stats_.route_cache_hits.value()));
+    out.add(prefix + "route_cache.misses",
+            static_cast<double>(stats_.route_cache_misses.value()));
+    out.add(prefix + "mapper.search_steps",
+            static_cast<double>(stats_.mapper_search_steps.value()));
+    out.add(prefix + "mapper.budget_exhausted",
+            static_cast<double>(stats_.mapper_budget_exhausted.value()));
+    out.add(prefix + "funnel.candidates",
+            static_cast<double>(stats_.mapper_funnel_candidates.value()));
+    out.add(prefix + "funnel.lb_pruned",
+            static_cast<double>(stats_.mapper_lb_pruned.value()));
+    out.add(prefix + "funnel.memo_hits",
+            static_cast<double>(stats_.mapper_memo_hits.value()));
+    out.add(prefix + "funnel.memo_misses",
+            static_cast<double>(stats_.mapper_memo_misses.value()));
+    out.add(prefix + "funnel.ted0_hits",
+            static_cast<double>(stats_.mapper_ted0_hits.value()));
+    out.add(prefix + "funnel.full_ged",
+            static_cast<double>(stats_.mapper_full_ged.value()));
+    out.set(prefix + "route_cache.size",
+            static_cast<double>(route_cache_.size()));
+    out.set(prefix + "free_cores", num_free_cores());
+    out.set(prefix + "core_utilization", core_utilization());
+    out.set(prefix + "audit.retained", static_cast<double>(audit_.size()));
+    out.set(prefix + "audit.total",
+            static_cast<double>(audit_.total_pushed()));
 }
 
 void
@@ -266,6 +365,8 @@ Hypervisor::destroy(VmId vm)
     }
     vnpus_.erase(it);
     ++stats_.vnpus_destroyed;
+    VNPU_TRACE(emit_instant("destroy", "hyp", obs::sim_now(),
+                            obs::kTrackHyp, {obs::arg("vm", vm)}));
 }
 
 virt::VirtualNpu*

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "hyp/admission_audit.h"
 #include "hyp/topology_mapper.h"
 #include "mem/buddy_allocator.h"
 #include "sim/config.h"
@@ -95,6 +96,14 @@ class Hypervisor {
     Cycles last_setup_cost() const { return last_setup_cost_; }
 
     const HypervisorStats& stats() const { return stats_; }
+
+    /** Telemetry sweep: lifecycle, route-cache and funnel counters. */
+    void collect_stats(StatSet& out,
+                       const std::string& prefix = "hyp.") const;
+
+    /** Ring of recent admission decisions (admitted and rejected). */
+    const AdmissionAuditRing& audit_log() const { return audit_; }
+    AdmissionAuditRing& audit_log() { return audit_; }
     /** Confined-route tables currently cached; bounded by a memory
      *  budget that scales the entry cap inversely with mesh size
      *  (kRouteCacheBudgetBytes in hypervisor.cpp). */
@@ -124,6 +133,16 @@ class Hypervisor {
 
     mem::RangeTable build_range_table(VmId vm, std::uint64_t bytes);
 
+    /** Record one admission decision: audit-ring push + trace span. */
+    void record_admission(AdmissionAuditEntry e, Tick t0);
+
+    /** Steps 3-8 of create(): provision the mapped region. Split out so
+     *  create() can audit setup failures uniformly. */
+    virt::VirtualNpu& create_provision(const VnpuSpec& spec,
+                                       const graph::Graph& vtopo,
+                                       const MappingResult& m, VmId vm,
+                                       AdmissionAuditEntry& audit, Tick t0);
+
     const SocConfig& cfg_;
     const noc::MeshTopology& topo_;
     core::NpuController& ctrl_;
@@ -137,6 +156,7 @@ class Hypervisor {
     VmId next_vm_ = 1;
     Cycles last_setup_cost_ = 0;
     HypervisorStats stats_;
+    AdmissionAuditRing audit_;
     std::map<VmId, std::unique_ptr<virt::VirtualNpu>> vnpus_;
     std::map<VmId, std::vector<Addr>> blocks_; ///< buddy blocks per VM
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace vnpu::mem {
@@ -78,7 +79,25 @@ DmaEngine::transfer(Tick start, Addr va, std::uint64_t bytes, VmId vm,
         cur += seg;
         remain -= seg;
     }
+
+    VNPU_TRACE(emit_complete(
+        perm == kPermRead ? "dma.load" : "dma.store", "mem", start,
+        t - start, static_cast<std::uint32_t>(core_),
+        {obs::arg("va", static_cast<std::uint64_t>(va)),
+         obs::arg("bytes", bytes), obs::arg("vm", vm),
+         obs::arg("channel", channel_)}));
     return t;
+}
+
+void
+DmaEngine::collect_stats(StatSet& out, const std::string& prefix) const
+{
+    out.add(prefix + "transfers", static_cast<double>(stats_.transfers.value()));
+    out.add(prefix + "bytes", static_cast<double>(stats_.bytes.value()));
+    out.add(prefix + "translation_stall",
+            static_cast<double>(stats_.translation_stall.value()));
+    out.add(prefix + "throttle_stall",
+            static_cast<double>(stats_.throttle_stall.value()));
 }
 
 } // namespace vnpu::mem

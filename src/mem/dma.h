@@ -110,6 +110,9 @@ class DmaEngine {
     const DmaStats& stats() const { return stats_; }
     int channel() const { return channel_; }
 
+    /** Telemetry sweep: transfer/byte/stall totals (aggregatable). */
+    void collect_stats(StatSet& out, const std::string& prefix) const;
+
   private:
     Tick transfer(Tick start, Addr va, std::uint64_t bytes, VmId vm,
                   Perm perm);

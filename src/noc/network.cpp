@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace vnpu::noc {
@@ -78,7 +80,8 @@ Network::Network(const SocConfig& cfg, const MeshTopology& topo,
                  EventQueue& eq)
     : cfg_(cfg), topo_(topo), eq_(eq),
       link_busy_(static_cast<std::size_t>(topo.num_nodes()) * 4, 0),
-      link_vms_(static_cast<std::size_t>(topo.num_nodes()) * 4, 0)
+      link_vms_(static_cast<std::size_t>(topo.num_nodes()) * 4, 0),
+      link_ctr_(static_cast<std::size_t>(topo.num_nodes()) * 4)
 {
 }
 
@@ -124,6 +127,13 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
         // the engine at link bandwidth (it is the same datapath).
         ++stats_.local_deliveries;
         Tick done = start + cfg_.noc_handshake_cycles + ser_cycles(bytes);
+        stats_.msg_latency.record(static_cast<double>(done - start));
+        VNPU_TRACE(emit_complete(
+            credit ? "credit" : "msg", "noc", start, done - start,
+            static_cast<std::uint32_t>(src),
+            {obs::arg("src", src), obs::arg("dst", dst), obs::arg("vm", vm),
+             obs::arg("bytes", bytes), obs::arg("tag", tag),
+             obs::arg("hops", 0)}));
         if (deliver_) {
             eq_.schedule(done, [this, dst, src, bytes, tag, vm, credit] {
                 deliver_(dst, src, bytes, tag, vm, credit);
@@ -142,6 +152,9 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
         // it (Figure 5's chained send semantics): every hop costs the
         // whole message serialization and occupies the link for it.
         const Cycles ser = ser_cycles(bytes);
+        // Each link is reserved from max(arrival, prior busy) to depart,
+        // a constant R + S per hop — hoisted out of the walk.
+        const std::uint64_t busy_add = cfg_.router_delay + ser;
         Tick t = inject_ready;
         hops = walk_route(src, dst, route, [&](int from, int to, int hop) {
             const int li = link_index(from, to);
@@ -149,6 +162,8 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
                 std::max(t, link_busy_[li]) + cfg_.router_delay + ser;
             link_busy_[li] = depart;
             mark_link(li, vm);
+            link_ctr_[li].flits += npkts;
+            link_ctr_[li].busy_ticks += busy_add;
             t = depart;
             if (hop == 0)
                 sender_free = depart;
@@ -173,6 +188,10 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
                        : (npkts - 2) * (cfg_.router_delay + ser_full) +
                              cfg_.router_delay + ser_tail;
 
+        // Final occupancy per link is (depart + delta) - max(arrival,
+        // prior busy) = R + S_full + delta: constant per hop, hoisted.
+        const std::uint64_t busy_add =
+            cfg_.router_delay + ser_full + delta;
         Tick t = inject_ready;
         hops = walk_route(src, dst, route, [&](int from, int to, int hop) {
             const int li = link_index(from, to);
@@ -180,6 +199,8 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
                 std::max(t, link_busy_[li]) + cfg_.router_delay + ser_full;
             link_busy_[li] = depart + delta;
             mark_link(li, vm);
+            link_ctr_[li].flits += npkts;
+            link_ctr_[li].busy_ticks += busy_add;
             t = depart;
             if (hop == 0)
                 sender_free = depart + delta;
@@ -191,6 +212,14 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
         // (possibly confined) route.
         hops = walk_route(src, dst, route, [](int, int, int) {});
     }
+
+    stats_.msg_latency.record(static_cast<double>(delivered - start));
+    VNPU_TRACE(emit_complete(
+        credit ? "credit" : "msg", "noc", start, delivered - start,
+        static_cast<std::uint32_t>(src),
+        {obs::arg("src", src), obs::arg("dst", dst), obs::arg("vm", vm),
+         obs::arg("bytes", bytes), obs::arg("tag", tag),
+         obs::arg("hops", hops)}));
 
     if (deliver_) {
         eq_.schedule(delivered, [this, dst, src, bytes, tag, vm, credit] {
@@ -221,7 +250,80 @@ Network::reset()
 {
     std::fill(link_busy_.begin(), link_busy_.end(), 0);
     std::fill(link_vms_.begin(), link_vms_.end(), 0);
+    std::fill(link_ctr_.begin(), link_ctr_.end(), LinkCounters{});
     stats_ = NetworkStats{};
+}
+
+void
+Network::collect_stats(StatSet& out, const std::string& prefix) const
+{
+    out.add(prefix + "messages", static_cast<double>(stats_.messages.value()));
+    out.add(prefix + "packets", static_cast<double>(stats_.packets.value()));
+    out.add(prefix + "bytes", static_cast<double>(stats_.bytes.value()));
+    out.add(prefix + "local_deliveries",
+            static_cast<double>(stats_.local_deliveries.value()));
+    out.add(prefix + "confined_messages",
+            static_cast<double>(stats_.confined_messages.value()));
+    int used = 0;
+    for (const LinkCounters& c : link_ctr_)
+        if (c.flits != 0)
+            ++used;
+    out.set(prefix + "links_used", used);
+    out.set(prefix + "interference_links", interference_links());
+    stats_.msg_latency.collect(out, prefix + "msg_latency.");
+}
+
+void
+Network::write_link_heatmap(std::ostream& os, Tick elapsed) const
+{
+    os << "[";
+    bool first = true;
+    for (int node = 0; node < topo_.num_nodes(); ++node) {
+        for (int d = 0; d < 4; ++d) {
+            const int to =
+                topo_.neighbor(node, static_cast<Direction>(d));
+            if (to == kInvalidCore)
+                continue;
+            const LinkCounters& c =
+                link_ctr_[static_cast<std::size_t>(node) * 4 + d];
+            if (c.flits == 0)
+                continue;
+            os << (first ? "\n" : ",\n") << "  {\"from\": " << node
+               << ", \"to\": " << to << ", \"flits\": " << c.flits
+               << ", \"busy_ticks\": " << c.busy_ticks;
+            if (elapsed > 0) {
+                os << ", \"utilization\": "
+                   << static_cast<double>(c.busy_ticks) /
+                          static_cast<double>(elapsed);
+            }
+            os << "}";
+            first = false;
+        }
+    }
+    os << "\n]\n";
+}
+
+void
+Network::trace_link_counters(Tick ts) const
+{
+    if (!obs::enabled())
+        return;
+    for (int node = 0; node < topo_.num_nodes(); ++node) {
+        std::uint64_t flits = 0;
+        std::uint64_t busy = 0;
+        for (int d = 0; d < 4; ++d) {
+            const LinkCounters& c =
+                link_ctr_[static_cast<std::size_t>(node) * 4 + d];
+            flits += c.flits;
+            busy += c.busy_ticks;
+        }
+        if (flits == 0)
+            continue;
+        obs::emit_counter("link", "noc", ts,
+                          static_cast<std::uint32_t>(node),
+                          {obs::arg("flits", flits),
+                           obs::arg("busy_ticks", busy)});
+    }
 }
 
 } // namespace vnpu::noc

@@ -88,6 +88,18 @@ struct NetworkStats {
     Counter bytes;
     Counter local_deliveries;   ///< src == dst messages
     Counter confined_messages;  ///< routed with an override
+    /** Per-message end-to-end latency (start to last byte), in ticks. */
+    Histogram msg_latency;
+};
+
+/**
+ * Always-on per-directed-link telemetry — the substrate of the
+ * link-utilization heatmap. Indexed like the busy-until table
+ * (`node * 4 + direction`).
+ */
+struct LinkCounters {
+    std::uint64_t flits = 0;      ///< Routing packets traversed.
+    std::uint64_t busy_ticks = 0; ///< Ticks the link was reserved.
 };
 
 /** The on-chip network shared by all NPU cores. */
@@ -127,6 +139,31 @@ class Network {
     {
         return link_vms_;
     }
+
+    /** Per-directed-link flit/busy counters, indexed node*4 + dir. */
+    const std::vector<LinkCounters>& link_counters() const
+    {
+        return link_ctr_;
+    }
+
+    /** Telemetry sweep: message/packet totals, latency, link gauges. */
+    void collect_stats(StatSet& out,
+                       const std::string& prefix = "noc.") const;
+
+    /**
+     * Link-utilization heatmap as JSON: one record per directed link
+     * with traffic, keyed by (from, to) node ids, with flit/busy
+     * counts and utilization relative to `elapsed` ticks (pass the
+     * final simulated time; 0 omits the utilization field).
+     */
+    void write_link_heatmap(std::ostream& os, Tick elapsed = 0) const;
+
+    /**
+     * Emit one counter-track trace event per node with traffic,
+     * summing its outgoing links, stamped at `ts`. No-op when the
+     * trace sink is disabled.
+     */
+    void trace_link_counters(Tick ts) const;
 
     /**
      * Number of directed links whose traffic came from more than one
@@ -200,6 +237,7 @@ class Network {
     /** busy-until per directed link, indexed node*4 + direction. */
     std::vector<Tick> link_busy_;
     std::vector<std::uint64_t> link_vms_;
+    std::vector<LinkCounters> link_ctr_;
     NetworkStats stats_;
 };
 

@@ -1,0 +1,145 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+
+namespace vnpu::obs {
+
+namespace {
+
+/** Escape a string for inclusion inside a JSON string literal. */
+void
+write_escaped(std::ostream& os, const char* s)
+{
+    for (; *s != '\0'; ++s) {
+        const unsigned char c = static_cast<unsigned char>(*s);
+        if (c == '"' || c == '\\') {
+            os << '\\' << *s;
+        } else if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os << buf;
+        } else {
+            os << *s;
+        }
+    }
+}
+
+void
+write_arg_value(std::ostream& os, const TraceArg& a)
+{
+    switch (a.kind) {
+      case TraceArg::Kind::kU64:
+        os << a.u;
+        return;
+      case TraceArg::Kind::kI64:
+        os << a.i;
+        return;
+      case TraceArg::Kind::kF64: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", a.f);
+        os << buf;
+        return;
+      }
+      case TraceArg::Kind::kStr:
+        os << '"';
+        write_escaped(os, a.s != nullptr ? a.s : "");
+        os << '"';
+        return;
+    }
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(&os)
+{
+    write_header();
+}
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(owned_.get())
+{
+    write_header();
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    close();
+}
+
+void
+ChromeTraceWriter::write_header()
+{
+    *os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    write_thread_name(kTrackQueue, "event-queue");
+    write_thread_name(kTrackHyp, "hypervisor");
+}
+
+void
+ChromeTraceWriter::begin_record()
+{
+    if (first_)
+        first_ = false;
+    else
+        *os_ << ',';
+    *os_ << '\n';
+}
+
+void
+ChromeTraceWriter::write_thread_name(std::uint32_t tid, const char* name)
+{
+    begin_record();
+    *os_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+         << tid << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+void
+ChromeTraceWriter::event(const TraceEvent& ev)
+{
+    if (closed_)
+        return;
+    begin_record();
+    std::ostream& os = *os_;
+    os << "{\"name\":\"";
+    write_escaped(os, ev.name);
+    os << "\",\"cat\":\"";
+    write_escaped(os, ev.cat);
+    os << "\",\"ph\":\"" << ev.ph << "\",\"pid\":0,\"tid\":" << ev.tid
+       << ",\"ts\":" << ev.ts;
+    if (ev.ph == 'X')
+        os << ",\"dur\":" << ev.dur;
+    if (ev.ph == 'i')
+        os << ",\"s\":\"t\""; // thread-scoped instant
+    if (ev.num_args > 0) {
+        os << ",\"args\":{";
+        for (int i = 0; i < ev.num_args; ++i) {
+            if (i > 0)
+                os << ',';
+            os << '"';
+            write_escaped(os, ev.args[i].key);
+            os << "\":";
+            write_arg_value(os, ev.args[i]);
+        }
+        os << '}';
+    }
+    os << '}';
+    ++count_;
+}
+
+void
+ChromeTraceWriter::flush()
+{
+    if (!closed_)
+        os_->flush();
+}
+
+void
+ChromeTraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    *os_ << "\n]}\n";
+    os_->flush();
+}
+
+} // namespace vnpu::obs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto-compatible JSON trace writer.
+ *
+ * Emits the JSON-object flavor of the trace-event format —
+ * `{"traceEvents": [...], ...}` — which both `chrome://tracing` and
+ * https://ui.perfetto.dev load directly. One tick is written as one
+ * microsecond (`ts`/`dur` fields), so the Perfetto timeline reads in
+ * simulated cycles.
+ *
+ * Events stream to the output as they arrive (nothing is retained in
+ * memory), so multi-million-event traces cost O(1) writer state. The
+ * writer is sim-thread-only, like every TraceSink.
+ */
+
+#ifndef VNPU_OBS_CHROME_TRACE_H
+#define VNPU_OBS_CHROME_TRACE_H
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace vnpu::obs {
+
+/** Streams TraceEvents as Chrome trace-event JSON. */
+class ChromeTraceWriter final : public TraceSink {
+  public:
+    /** Write into `os`; the stream must outlive the writer. */
+    explicit ChromeTraceWriter(std::ostream& os);
+
+    /** Open `path` for writing and own the file stream. */
+    explicit ChromeTraceWriter(const std::string& path);
+
+    /** Closes the JSON document if close() was not called. */
+    ~ChromeTraceWriter() override;
+
+    ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+    ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+    void event(const TraceEvent& ev) override;
+    void flush() override;
+
+    /** Write the document footer; later events are dropped. */
+    void close();
+
+    /** Events written so far (metadata records excluded). */
+    std::uint64_t num_events() const { return count_; }
+
+    bool ok() const { return os_ != nullptr && os_->good(); }
+
+  private:
+    void write_header();
+    void write_thread_name(std::uint32_t tid, const char* name);
+    void begin_record();
+
+    std::unique_ptr<std::ofstream> owned_;
+    std::ostream* os_;
+    std::uint64_t count_ = 0;
+    bool first_ = true;
+    bool closed_ = false;
+};
+
+} // namespace vnpu::obs
+
+#endif // VNPU_OBS_CHROME_TRACE_H

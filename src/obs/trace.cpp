@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+#include "sim/event_queue.h"
+
+namespace vnpu::obs {
+
+namespace detail {
+TraceSink* g_sink = nullptr;
+} // namespace detail
+
+namespace {
+/** Atomic: log_line may read the clock from TaskPool workers. */
+std::atomic<const EventQueue*> g_clock{nullptr};
+} // namespace
+
+void
+set_sink(TraceSink* sink)
+{
+    if (detail::g_sink != nullptr && detail::g_sink != sink)
+        detail::g_sink->flush();
+    detail::g_sink = sink;
+}
+
+TraceSink*
+sink()
+{
+    return detail::g_sink;
+}
+
+void
+set_sim_clock(const EventQueue* eq)
+{
+    g_clock.store(eq, std::memory_order_release);
+}
+
+void
+clear_sim_clock(const EventQueue* eq)
+{
+    const EventQueue* cur = eq;
+    g_clock.compare_exchange_strong(cur, nullptr);
+}
+
+Tick
+sim_now()
+{
+    const EventQueue* eq = g_clock.load(std::memory_order_acquire);
+    return eq != nullptr ? eq->now() : 0;
+}
+
+void
+emit(const TraceEvent& ev)
+{
+    if (detail::g_sink != nullptr)
+        detail::g_sink->event(ev);
+}
+
+void
+emit_complete(const char* name, const char* cat, Tick ts, Tick dur,
+              std::uint32_t tid, std::initializer_list<TraceArg> args)
+{
+    emit(TraceEvent{name, cat, 'X', ts, dur, tid, args.begin(),
+                    static_cast<int>(args.size())});
+}
+
+void
+emit_instant(const char* name, const char* cat, Tick ts, std::uint32_t tid,
+             std::initializer_list<TraceArg> args)
+{
+    emit(TraceEvent{name, cat, 'i', ts, 0, tid, args.begin(),
+                    static_cast<int>(args.size())});
+}
+
+void
+emit_counter(const char* name, const char* cat, Tick ts, std::uint32_t tid,
+             std::initializer_list<TraceArg> args)
+{
+    emit(TraceEvent{name, cat, 'C', ts, 0, tid, args.begin(),
+                    static_cast<int>(args.size())});
+}
+
+} // namespace vnpu::obs

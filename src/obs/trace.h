@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Simulation-wide tracing: a minimal sink interface plus global
+ * zero-overhead-when-off instrumentation hooks.
+ *
+ * Contract (docs/observability.md):
+ *  - With no sink installed, an instrumentation site costs exactly one
+ *    predictable branch on a cached pointer load (`enabled()`); no
+ *    event argument is ever materialized. Use the `VNPU_TRACE(...)`
+ *    macro or an explicit `if (obs::enabled())` block.
+ *  - Events carry *simulated* timestamps (ticks), never wall clock, so
+ *    a traced run of a deterministic simulation produces a
+ *    byte-identical trace every time.
+ *  - Hooks are sim-thread-only: instrumented code runs on the thread
+ *    driving the EventQueue (TaskPool workers never emit events).
+ */
+
+#ifndef VNPU_OBS_TRACE_H
+#define VNPU_OBS_TRACE_H
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "sim/types.h"
+
+namespace vnpu {
+class EventQueue;
+}
+
+namespace vnpu::obs {
+
+/** One typed key/value argument attached to a trace event. */
+struct TraceArg {
+    enum class Kind : std::uint8_t { kU64, kI64, kF64, kStr };
+
+    const char* key;
+    Kind kind;
+    std::uint64_t u;
+    std::int64_t i;
+    double f;
+    const char* s;
+};
+
+inline TraceArg
+arg(const char* key, std::uint64_t v)
+{
+    return TraceArg{key, TraceArg::Kind::kU64, v, 0, 0.0, nullptr};
+}
+
+inline TraceArg
+arg(const char* key, std::int64_t v)
+{
+    return TraceArg{key, TraceArg::Kind::kI64, 0, v, 0.0, nullptr};
+}
+
+inline TraceArg
+arg(const char* key, std::uint32_t v)
+{
+    return arg(key, static_cast<std::uint64_t>(v));
+}
+
+inline TraceArg
+arg(const char* key, std::int32_t v)
+{
+    return arg(key, static_cast<std::int64_t>(v));
+}
+
+inline TraceArg
+arg(const char* key, double v)
+{
+    return TraceArg{key, TraceArg::Kind::kF64, 0, 0, v, nullptr};
+}
+
+/** String args are not copied; the pointer must outlive the emit call. */
+inline TraceArg
+arg(const char* key, const char* v)
+{
+    return TraceArg{key, TraceArg::Kind::kStr, 0, 0, 0.0, v};
+}
+
+/**
+ * One trace event in Chrome trace-event terms. `name`/`cat` are static
+ * strings (never copied); `args` points at caller-owned storage that
+ * only needs to live for the duration of the `TraceSink::event` call.
+ */
+struct TraceEvent {
+    const char* name;
+    const char* cat;  ///< Category: "sim", "noc", "mem" or "hyp".
+    char ph;          ///< Phase: 'X' complete, 'i' instant, 'C' counter.
+    Tick ts;
+    Tick dur;         ///< 'X' events only.
+    std::uint32_t tid;
+    const TraceArg* args;
+    int num_args;
+};
+
+/** Where emitted events go. Implementations must not re-enter emit(). */
+class TraceSink {
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void event(const TraceEvent& ev) = 0;
+
+    /** Push buffered output to its destination (best effort). */
+    virtual void flush() {}
+};
+
+/**
+ * Track (tid) allocation: per-core events use the core id; fixed
+ * control-plane tracks sit far above any core id.
+ */
+inline constexpr std::uint32_t kTrackQueue = 1u << 20; ///< Event queue.
+inline constexpr std::uint32_t kTrackHyp = kTrackQueue + 1; ///< Admission.
+
+namespace detail {
+/** The installed sink; sim-thread-only, nullptr = tracing off. */
+extern TraceSink* g_sink;
+} // namespace detail
+
+/** True when a sink is installed — the single branch paid when off. */
+inline bool
+enabled()
+{
+    return detail::g_sink != nullptr;
+}
+
+/** Install (or, with nullptr, remove) the global sink. Not owned; the
+ *  previous sink is flushed on replacement. */
+void set_sink(TraceSink* sink);
+TraceSink* sink();
+
+/**
+ * Register the event queue whose `now()` timestamps control-plane
+ * events (hypervisor admission spans, log-line tags). Machine does
+ * this on construction; `sim_now()` reports 0 with no clock.
+ */
+void set_sim_clock(const EventQueue* eq);
+/** Unregister `eq` iff it is the current clock (idempotent). */
+void clear_sim_clock(const EventQueue* eq);
+Tick sim_now();
+
+/** Forward `ev` to the installed sink (no-op when tracing is off). */
+void emit(const TraceEvent& ev);
+
+/** Emit a complete ('X') event spanning [ts, ts + dur]. */
+void emit_complete(const char* name, const char* cat, Tick ts, Tick dur,
+                   std::uint32_t tid,
+                   std::initializer_list<TraceArg> args = {});
+
+/** Emit an instant ('i') event at `ts`. */
+void emit_instant(const char* name, const char* cat, Tick ts,
+                  std::uint32_t tid,
+                  std::initializer_list<TraceArg> args = {});
+
+/** Emit a counter ('C') event; each arg becomes one counter series. */
+void emit_counter(const char* name, const char* cat, Tick ts,
+                  std::uint32_t tid, std::initializer_list<TraceArg> args);
+
+/**
+ * Guarded emission: the wrapped call (argument construction included)
+ * compiles to nothing but the cached-flag branch when tracing is off.
+ * Braced arg lists are fine — they sit inside the call's parentheses.
+ *
+ *   VNPU_TRACE(emit_complete("send", "noc", t0, dur, src,
+ *                            {arg("dst", dst), arg("bytes", bytes)}));
+ */
+#define VNPU_TRACE(call)                                                     \
+    do {                                                                     \
+        if (::vnpu::obs::enabled())                                          \
+            ::vnpu::obs::call;                                               \
+    } while (0)
+
+} // namespace vnpu::obs
+
+#endif // VNPU_OBS_TRACE_H

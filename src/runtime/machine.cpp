@@ -1,5 +1,6 @@
 #include "runtime/machine.h"
 
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace vnpu::runtime {
@@ -8,6 +9,9 @@ Machine::Machine(const SocConfig& cfg)
     : cfg_(cfg), topo_(cfg.mesh_x, cfg.mesh_y)
 {
     cfg_.validate();
+    // Control-plane instrumentation (hypervisor admission spans, log
+    // tags) timestamps against this machine's clock.
+    obs::set_sim_clock(&eq_);
     dram_ = std::make_unique<mem::DramModel>(cfg_);
     net_ = std::make_unique<noc::Network>(cfg_, topo_, eq_);
     ctrl_ = std::make_unique<core::NpuController>(cfg_, topo_);
@@ -28,11 +32,28 @@ Machine::Machine(const SocConfig& cfg)
     });
 }
 
+Machine::~Machine()
+{
+    obs::clear_sim_clock(&eq_);
+}
+
 void
 Machine::enable_trace()
 {
     for (auto& dma : dmas_)
         dma->set_trace(&trace_);
+}
+
+void
+Machine::collect_stats(StatSet& out) const
+{
+    eq_.collect_stats(out, "sim.");
+    net_->collect_stats(out, "noc.");
+    out.set("mem.dram.bytes", static_cast<double>(dram_->total_bytes()));
+    for (const auto& dma : dmas_)
+        dma->collect_stats(out, "mem.dma.");
+    for (const auto& core : cores_)
+        core->collect_stats(out, "core.");
 }
 
 Tick
@@ -49,6 +70,11 @@ Machine::run(Tick start, Tick limit)
         return eq_.now();
 
     Tick end = eq_.run(limit);
+
+    // Close the trace with a link-utilization counter snapshot so the
+    // heatmap data rides inside the trace file itself.
+    if (obs::enabled())
+        net_->trace_link_counters(end);
 
     for (auto& core : cores_) {
         if (core->num_contexts() > 0 && !core->all_done()) {

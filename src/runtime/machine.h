@@ -28,6 +28,7 @@ namespace vnpu::runtime {
 class Machine {
   public:
     explicit Machine(const SocConfig& cfg);
+    ~Machine();
 
     Machine(const Machine&) = delete;
     Machine& operator=(const Machine&) = delete;
@@ -47,6 +48,13 @@ class Machine {
 
     /** Enable DMA tracing on every core (Figure 6 experiments). */
     void enable_trace();
+
+    /**
+     * Uniform telemetry sweep over every layer of the chip: event
+     * queue (`sim.`), NoC (`noc.`), DRAM/DMA (`mem.`), and cores
+     * (`core.`, aggregated across cores via StatSet::add).
+     */
+    void collect_stats(StatSet& out) const;
 
     /**
      * Start all cores that have contexts at tick `start` and run the

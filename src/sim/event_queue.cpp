@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include "obs/trace.h"
+
 namespace vnpu {
 
 EventQueue::EventQueue() : wheel_(kWheelSize) {}
@@ -78,14 +80,26 @@ EventQueue::run(Tick limit)
     for (;;) {
         // Execute the current tick's batch by index: callbacks may
         // append same-tick events, which extend this very batch.
+        const std::uint64_t executed_before = executed_;
         while (batch_pos_ < batch_.size()) {
             Callback cb = std::move(batch_[batch_pos_++]);
             --pending_;
+            ++executed_;
             cb();
             maybe_compact_batch();
         }
         batch_.clear();
         batch_pos_ = 0;
+        if (executed_ != executed_before) {
+            ++busy_ticks_;
+            // Dispatch span: one slice per executed tick batch (a
+            // per-event span would be zero-duration at the same ts).
+            VNPU_TRACE(emit_complete(
+                "tick", "sim", now_, 1, obs::kTrackQueue,
+                {obs::arg("events", executed_ - executed_before),
+                 obs::arg("pending",
+                          static_cast<std::uint64_t>(pending_))}));
+        }
 
         Tick t = next_event_tick();
         if (t == kTickMax)
@@ -111,9 +125,19 @@ EventQueue::step()
     }
     Callback cb = std::move(batch_[batch_pos_++]);
     --pending_;
+    ++executed_;
     cb();
     maybe_compact_batch();
     return true;
+}
+
+void
+EventQueue::collect_stats(StatSet& out, const std::string& prefix) const
+{
+    out.add(prefix + "events_executed", static_cast<double>(executed_));
+    out.add(prefix + "busy_ticks", static_cast<double>(busy_ticks_));
+    out.set(prefix + "pending", static_cast<double>(pending_));
+    out.set(prefix + "now", static_cast<double>(now_));
 }
 
 void

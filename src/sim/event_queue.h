@@ -28,6 +28,7 @@
 
 #include "sim/callback.h"
 #include "sim/log.h"
+#include "sim/stats.h"
 #include "sim/types.h"
 
 namespace vnpu {
@@ -47,6 +48,15 @@ class EventQueue {
 
     /** Number of pending events. */
     std::size_t pending() const { return pending_; }
+
+    /** Events executed since construction (survives clear()). */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Ticks that executed at least one event (batch granularity). */
+    std::uint64_t busy_ticks() const { return busy_ticks_; }
+
+    /** Telemetry sweep: executed/pending/busy-tick gauges. */
+    void collect_stats(StatSet& out, const std::string& prefix) const;
 
     /**
      * Schedule `cb` to run at absolute tick `when`.
@@ -165,6 +175,8 @@ class EventQueue {
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::size_t pending_ = 0;
+    std::uint64_t executed_ = 0;
+    std::uint64_t busy_ticks_ = 0;
 };
 
 } // namespace vnpu

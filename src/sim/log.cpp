@@ -1,12 +1,19 @@
 #include "sim/log.h"
 
+#include <atomic>
 #include <iostream>
+
+#include "obs/trace.h"
 
 namespace vnpu {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+/**
+ * Atomic: the level is read under TaskPool workers (mapper scoring may
+ * warn) while tests/harnesses set it from the main thread.
+ */
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char*
 level_tag(LogLevel level)
@@ -25,21 +32,25 @@ level_tag(LogLevel level)
 LogLevel
 log_level()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 set_log_level(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 void
 log_line(LogLevel level, const std::string& msg)
 {
-    if (static_cast<int>(level) > static_cast<int>(g_level))
+    if (static_cast<int>(level) > static_cast<int>(log_level()))
         return;
-    std::cerr << "[vnpu:" << level_tag(level) << "] " << msg << '\n';
+    // Tag with the simulated time of the registered clock (0 when no
+    // machine is live) so interleaved component logs line up with the
+    // trace timeline.
+    std::cerr << "[vnpu:" << level_tag(level) << " @" << obs::sim_now()
+              << "] " << msg << '\n';
 }
 
 } // namespace vnpu

@@ -1,6 +1,7 @@
 #include "sim/stats.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace vnpu {
 
@@ -18,10 +19,130 @@ Distribution::sample(double v)
 }
 
 void
+Distribution::merge(const Distribution& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
 Distribution::reset()
 {
     count_ = 0;
     sum_ = min_ = max_ = 0.0;
+}
+
+int
+Histogram::bucket_of(double v)
+{
+    if (!(v > 0.0)) // negatives, zero and NaN share the zero bucket
+        return 0;
+    int exp = 0;
+    const double frac = std::frexp(v, &exp); // v = frac * 2^exp, frac in [0.5, 1)
+    const int octave = exp - 1;              // 2^octave <= v < 2^(octave+1)
+    if (octave < kMinExp)
+        return 0;
+    int sub;
+    if (octave > kMaxExp) {
+        return kNumBuckets - 1;
+    }
+    sub = static_cast<int>((frac * 2.0 - 1.0) * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    return 1 + (octave - kMinExp) * kSubBuckets + sub;
+}
+
+double
+Histogram::bucket_floor(int b)
+{
+    if (b <= 0)
+        return 0.0;
+    const int idx = b - 1;
+    const int octave = kMinExp + idx / kSubBuckets;
+    const int sub = idx % kSubBuckets;
+    return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave);
+}
+
+void
+Histogram::record(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    ++buckets_[bucket_of(v)];
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(1.0, std::max(0.0, p));
+    // Nearest-rank: the k-th smallest sample, k = max(1, ceil(p * n)).
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(p * count_)));
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+        cum += buckets_[b];
+        if (cum >= rank) {
+            // Mid-bucket representative, clamped to the observed range
+            // so degenerate distributions stay exact.
+            const double lo = bucket_floor(b);
+            const double rep = lo * (1.0 + 0.5 / kSubBuckets);
+            return std::min(max_, std::max(min_, b == 0 ? lo : rep));
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (int b = 0; b < kNumBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+}
+
+void
+Histogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+Histogram::collect(StatSet& out, const std::string& prefix) const
+{
+    out.set(prefix + "count", static_cast<double>(count_));
+    out.set(prefix + "mean", mean());
+    out.set(prefix + "min", min());
+    out.set(prefix + "max", max());
+    out.set(prefix + "p50", quantile(0.50));
+    out.set(prefix + "p90", quantile(0.90));
+    out.set(prefix + "p99", quantile(0.99));
 }
 
 void

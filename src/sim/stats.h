@@ -7,6 +7,7 @@
 #ifndef VNPU_SIM_STATS_H
 #define VNPU_SIM_STATS_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -16,6 +17,8 @@
 #include "sim/types.h"
 
 namespace vnpu {
+
+class StatSet;
 
 /** A monotonically increasing scalar statistic. */
 class Counter {
@@ -37,6 +40,9 @@ class Distribution {
   public:
     void sample(double v);
 
+    /** Fold another distribution in (for sharded/merged collection). */
+    void merge(const Distribution& other);
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -52,8 +58,64 @@ class Distribution {
 };
 
 /**
+ * Log-bucketed histogram with approximate quantiles.
+ *
+ * Non-negative values are bucketed by binary exponent with
+ * `kSubBuckets` linear sub-buckets per octave, so `quantile(p)` is
+ * reported with relative error at most 2^(1/kSubBuckets) - 1 (~4.4%).
+ * Values <= 0 (and NaN) share the zero bucket; exact count/sum/min/max
+ * run alongside the buckets. Mergeable for future sharded collection.
+ */
+class Histogram {
+  public:
+    static constexpr int kSubBuckets = 16;
+    /** Octave range: 2^-32 (~2e-10) .. 2^64 covers ticks and ratios. */
+    static constexpr int kMinExp = -32;
+    static constexpr int kMaxExp = 63;
+    static constexpr int kNumBuckets =
+        1 + (kMaxExp - kMinExp + 1) * kSubBuckets;
+
+    void record(double v);
+
+    /**
+     * Approximate p-quantile (p in [0, 1]) under nearest-rank
+     * semantics, clamped to the exact observed [min, max]; 0 when
+     * empty.
+     */
+    double quantile(double p) const;
+
+    /** Fold another histogram in (bucket-wise; exact fields combine). */
+    void merge(const Histogram& other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    void reset();
+
+    /** Surface count/mean/min/max/p50/p90/p99 under `prefix`. */
+    void collect(StatSet& out, const std::string& prefix) const;
+
+  private:
+    static int bucket_of(double v);
+    /** Lower bound of bucket `b` (0 for the zero bucket). */
+    static double bucket_floor(int b);
+
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
  * A named collection of scalar statistics. Components expose a
- * `collect_stats(StatSet&)` method; harnesses print the result.
+ * `collect_stats(StatSet& out, const std::string& prefix)` method;
+ * harnesses sweep a whole machine/hypervisor and print or export the
+ * result. Convention: accumulating quantities (counters, cycle totals)
+ * go through `add()` so several components may share one prefix;
+ * point-in-time gauges (cache sizes, utilization) use `set()`.
  */
 class StatSet {
   public:

@@ -87,6 +87,22 @@ class VirtualNpu {
     /** Topology edit distance of the realized mapping vs the request. */
     double mapping_ted() const { return mapping_ted_; }
 
+    // ---- Telemetry ---------------------------------------------------------
+    /** Sweep this vNPU's provisioning gauges into `out`. */
+    void
+    collect_stats(StatSet& out, const std::string& prefix) const
+    {
+        out.set(prefix + "cores", num_cores());
+        out.set(prefix + "mapping_ted", mapping_ted_);
+        out.set(prefix + "interfaces", interfaces_);
+        out.set(prefix + "bw_cap", bw_cap_);
+        out.set(prefix + "tdm_factor", tdm_factor_);
+        out.set(prefix + "isolated", isolated() ? 1.0 : 0.0);
+        out.set(prefix + "memory_bytes",
+                static_cast<double>(memory_bytes()));
+        out.set(prefix + "rtt_entries", static_cast<double>(rtt_.size()));
+    }
+
   private:
     VmId vm_;
     std::vector<CoreId> cores_;

@@ -50,6 +50,28 @@ TEST(DistributionTest, SingleSampleIsMinAndMax)
     EXPECT_DOUBLE_EQ(d.mean(), -5.5);
 }
 
+TEST(DistributionTest, MergeEqualsCombinedSampling)
+{
+    Distribution a, b, all;
+    for (int i = 1; i <= 10; ++i) {
+        (i % 2 == 0 ? a : b).sample(i);
+        all.sample(i);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+
+    // Merging into (or from) an empty distribution is the identity.
+    Distribution empty;
+    empty.merge(all);
+    EXPECT_EQ(empty.count(), all.count());
+    EXPECT_DOUBLE_EQ(empty.min(), all.min());
+    all.merge(Distribution{});
+    EXPECT_EQ(all.count(), empty.count());
+}
+
 TEST(StatSetTest, SetAddGet)
 {
     StatSet s;

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the observability layer: trace sink determinism and
+ * non-perturbation, Histogram quantiles against a sorted oracle, the
+ * admission audit ring, and the uniform collect_stats sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "hyp/admission_audit.h"
+#include "hyp/hypervisor.h"
+#include "noc/network.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+#include "runtime/machine.h"
+#include "sim/event_queue.h"
+#include "sim/log.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace vnpu {
+namespace {
+
+using noc::MeshTopology;
+using noc::Network;
+using noc::SendResult;
+using runtime::Machine;
+
+/** Restore the no-sink state even when a test fails mid-way. */
+struct SinkGuard {
+    explicit SinkGuard(obs::TraceSink* sink) { obs::set_sink(sink); }
+    ~SinkGuard() { obs::set_sink(nullptr); }
+};
+
+SocConfig
+net_cfg()
+{
+    SocConfig c = SocConfig::Fpga();
+    c.mesh_x = 4;
+    c.mesh_y = 4;
+    return c;
+}
+
+/** Everything observable about one fixed NoC scenario. */
+struct ScenarioResult {
+    std::vector<SendResult> sends;
+    Tick end = 0;
+    int delivered = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::vector<Tick> busy;
+    std::vector<noc::LinkCounters> links;
+};
+
+/** Run a fixed contention scenario, optionally traced into `sink`. */
+ScenarioResult
+run_scenario(obs::TraceSink* sink)
+{
+    SinkGuard guard(sink);
+    SocConfig cfg = net_cfg();
+    EventQueue eq;
+    MeshTopology topo(cfg.mesh_x, cfg.mesh_y);
+    Network net(cfg, topo, eq);
+    ScenarioResult r;
+    net.set_deliver_callback(
+        [&r](int, int, std::uint64_t, int, VmId, bool) { ++r.delivered; });
+
+    r.sends.push_back(net.send(0, 0, 5, 4096, 1, 7));
+    r.sends.push_back(net.send(0, 3, 15, 2048, 2, 8));
+    r.sends.push_back(net.send(10, 2, 2, 512, 1, 9));   // loopback
+    r.sends.push_back(net.send(40, 0, 5, 4096, 1, 7));  // re-contend
+    eq.run();
+    net.trace_link_counters(eq.now());
+
+    r.end = eq.now();
+    r.messages = net.stats().messages.value();
+    r.bytes = net.stats().bytes.value();
+    for (int a : {0, 1, 2}) {
+        r.busy.push_back(net.link_busy_until(a, a + 1));
+    }
+    r.links = net.link_counters();
+    return r;
+}
+
+void
+expect_same(const ScenarioResult& a, const ScenarioResult& b)
+{
+    ASSERT_EQ(a.sends.size(), b.sends.size());
+    for (std::size_t i = 0; i < a.sends.size(); ++i) {
+        EXPECT_EQ(a.sends[i].delivered, b.sends[i].delivered) << i;
+        EXPECT_EQ(a.sends[i].sender_free, b.sends[i].sender_free) << i;
+        EXPECT_EQ(a.sends[i].hops, b.sends[i].hops) << i;
+    }
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.busy, b.busy);
+    ASSERT_EQ(a.links.size(), b.links.size());
+    for (std::size_t i = 0; i < a.links.size(); ++i) {
+        EXPECT_EQ(a.links[i].flits, b.links[i].flits) << i;
+        EXPECT_EQ(a.links[i].busy_ticks, b.links[i].busy_ticks) << i;
+    }
+}
+
+TEST(TraceTest, DisabledByDefault)
+{
+    EXPECT_FALSE(obs::enabled());
+    // Emitting with no sink must be a harmless no-op.
+    obs::emit_instant("noop", "sim", 0, 0);
+}
+
+TEST(TraceTest, TracedRunIsByteIdenticalAcrossRuns)
+{
+    std::ostringstream os1, os2;
+    {
+        obs::ChromeTraceWriter w(os1);
+        run_scenario(&w);
+        obs::set_sink(nullptr);
+        w.close();
+        EXPECT_GT(w.num_events(), 0u);
+    }
+    {
+        obs::ChromeTraceWriter w(os2);
+        run_scenario(&w);
+        obs::set_sink(nullptr);
+        w.close();
+    }
+    // Timestamps are sim ticks, never wall clock, so a deterministic
+    // simulation yields a byte-identical trace.
+    EXPECT_EQ(os1.str(), os2.str());
+}
+
+TEST(TraceTest, TraceIsStructurallyValidChromeJson)
+{
+    std::ostringstream os;
+    obs::ChromeTraceWriter w(os);
+    run_scenario(&w);
+    obs::set_sink(nullptr);
+    w.close();
+
+    const std::string t = os.str();
+    EXPECT_EQ(t.rfind("{\"displayTimeUnit\"", 0), 0u);
+    EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(t.find("\"ph\":\"X\""), std::string::npos); // msg spans
+    EXPECT_NE(t.find("\"ph\":\"C\""), std::string::npos); // link counters
+    EXPECT_NE(t.find("\"cat\":\"noc\""), std::string::npos);
+    EXPECT_NE(t.find("\"cat\":\"sim\""), std::string::npos); // tick spans
+    EXPECT_EQ(t.substr(t.size() - 3), "]}\n");
+}
+
+TEST(TraceTest, SinkDoesNotPerturbSimulation)
+{
+    ScenarioResult off = run_scenario(nullptr);
+    std::ostringstream os;
+    obs::ChromeTraceWriter w(os);
+    ScenarioResult on = run_scenario(&w);
+    obs::set_sink(nullptr);
+    w.close();
+    expect_same(off, on);
+}
+
+TEST(HistogramTest, EmptyAndSingleSample)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    h.record(42.0);
+    EXPECT_EQ(h.quantile(0.0), 42.0);
+    EXPECT_EQ(h.quantile(0.5), 42.0);
+    EXPECT_EQ(h.quantile(1.0), 42.0);
+    EXPECT_EQ(h.min(), 42.0);
+    EXPECT_EQ(h.max(), 42.0);
+    EXPECT_EQ(h.mean(), 42.0);
+}
+
+TEST(HistogramTest, QuantilesMatchSortedOracle)
+{
+    Histogram h;
+    std::vector<double> vals;
+    Rng rng(1234);
+    for (int i = 0; i < 5000; ++i) {
+        // Span several octaves: 1 .. ~1e6.
+        double v = static_cast<double>(rng.next_below(1000000) + 1);
+        vals.push_back(v);
+        h.record(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (double p : {0.5, 0.9, 0.99}) {
+        const std::size_t rank = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(p * static_cast<double>(vals.size()))));
+        const double oracle = vals[rank - 1];
+        const double got = h.quantile(p);
+        // Log-bucketed with 16 sub-buckets per octave: relative error
+        // is bounded by 2^(1/16) - 1 (~4.4%).
+        EXPECT_GT(got, oracle / 1.05) << "p=" << p;
+        EXPECT_LT(got, oracle * 1.05) << "p=" << p;
+    }
+    EXPECT_EQ(h.count(), 5000u);
+    EXPECT_EQ(h.min(), vals.front());
+    EXPECT_EQ(h.max(), vals.back());
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording)
+{
+    Histogram a, b, all;
+    Rng rng(77);
+    for (int i = 0; i < 2000; ++i) {
+        double v = static_cast<double>(rng.next_below(100000) + 1);
+        (i % 2 == 0 ? a : b).record(v);
+        all.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.sum(), all.sum());
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+    for (double p : {0.25, 0.5, 0.9, 0.99})
+        EXPECT_EQ(a.quantile(p), all.quantile(p)) << "p=" << p;
+}
+
+TEST(HistogramTest, CollectExportsQuantileKeys)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.record(i);
+    StatSet st;
+    h.collect(st, "lat.");
+    EXPECT_EQ(st.get("lat.count", -1), 100.0);
+    EXPECT_TRUE(st.has("lat.p50"));
+    EXPECT_TRUE(st.has("lat.p90"));
+    EXPECT_TRUE(st.has("lat.p99"));
+    EXPECT_EQ(st.get("lat.min", -1), 1.0);
+    EXPECT_EQ(st.get("lat.max", -1), 100.0);
+}
+
+TEST(AuditRingTest, StaysBoundedAndKeepsNewest)
+{
+    hyp::AdmissionAuditRing ring(256);
+    for (int i = 0; i < 600; ++i) {
+        hyp::AdmissionAuditEntry e;
+        e.requested_cores = i;
+        ring.push(std::move(e));
+    }
+    EXPECT_EQ(ring.size(), 256u);
+    EXPECT_EQ(ring.capacity(), 256u);
+    EXPECT_EQ(ring.total_pushed(), 600u);
+    // Oldest retained is push #344 (600 - 256), newest is #599.
+    EXPECT_EQ(ring.at(0).seq, 344u);
+    EXPECT_EQ(ring.at(0).requested_cores, 344);
+    EXPECT_EQ(ring.at(255).seq, 599u);
+
+    std::ostringstream os;
+    ring.dump_jsonl(os);
+    const std::string dump = os.str();
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(dump.begin(), dump.end(), '\n')),
+              ring.size());
+    EXPECT_NE(dump.find("\"seq\": 344"), std::string::npos);
+    EXPECT_EQ(dump.find("\"seq\": 343"), std::string::npos);
+}
+
+TEST(AuditRingTest, SetCapacityRepacksOldestFirst)
+{
+    hyp::AdmissionAuditRing ring(8);
+    for (int i = 0; i < 20; ++i) {
+        hyp::AdmissionAuditEntry e;
+        ring.push(std::move(e));
+    }
+    ring.set_capacity(4);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.at(0).seq, 16u);
+    EXPECT_EQ(ring.at(3).seq, 19u);
+    // Pushing after a resize keeps seq numbering and order.
+    hyp::AdmissionAuditEntry e;
+    ring.push(std::move(e));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.at(0).seq, 17u);
+    EXPECT_EQ(ring.at(3).seq, 20u);
+}
+
+TEST(HypervisorAuditTest, RecordsAdmissionsAndRejections)
+{
+    Machine m(SocConfig::Sim()); // 6x6
+    hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+
+    hyp::VnpuSpec ok;
+    ok.num_cores = 6;
+    ok.memory_bytes = 1ull << 20;
+    virt::VirtualNpu& v = hv.create(ok);
+
+    hyp::VnpuSpec bad;
+    bad.num_cores = 37; // more cores than the 36-core mesh has
+    EXPECT_THROW(hv.create(bad), SimFatal);
+
+    const hyp::AdmissionAuditRing& log = hv.audit_log();
+    ASSERT_EQ(log.total_pushed(), 2u);
+    const hyp::AdmissionAuditEntry& adm = log.at(0);
+    EXPECT_TRUE(adm.admitted);
+    EXPECT_EQ(adm.vm, v.vm());
+    EXPECT_EQ(adm.requested_cores, 6);
+    EXPECT_GT(adm.setup_cycles, 0u);
+    EXPECT_TRUE(adm.error.empty());
+    const hyp::AdmissionAuditEntry& rej = log.at(1);
+    EXPECT_FALSE(rej.admitted);
+    EXPECT_EQ(rej.requested_cores, 37);
+    EXPECT_FALSE(rej.error.empty());
+}
+
+TEST(HypervisorAuditTest, AdmissionSpansReachTheTrace)
+{
+    std::ostringstream os;
+    obs::ChromeTraceWriter w(os);
+    {
+        SinkGuard guard(&w);
+        Machine m(SocConfig::Sim());
+        hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+        hyp::VnpuSpec spec;
+        spec.num_cores = 4;
+        hv.create(spec);
+        hv.destroy(hv.audit_log().at(0).vm);
+    }
+    w.close();
+    const std::string t = os.str();
+    EXPECT_NE(t.find("\"name\":\"admission\""), std::string::npos);
+    EXPECT_NE(t.find("\"cat\":\"hyp\""), std::string::npos);
+    EXPECT_NE(t.find("\"name\":\"destroy\""), std::string::npos);
+    EXPECT_NE(t.find("\"strategy\""), std::string::npos);
+}
+
+TEST(CollectStatsTest, HypervisorSweepMatchesLegacyCounters)
+{
+    Machine m(SocConfig::Sim());
+    hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+    for (int i = 0; i < 3; ++i) {
+        hyp::VnpuSpec spec;
+        spec.num_cores = 6;
+        spec.strategy = hyp::MappingStrategy::kSimilarTopology;
+        hv.create(spec);
+    }
+    StatSet st;
+    hv.collect_stats(st);
+    const hyp::HypervisorStats& legacy = hv.stats();
+    EXPECT_EQ(st.get("hyp.vnpus_created", -1), 3.0);
+    EXPECT_EQ(st.get("hyp.setup_cycles", -1),
+              static_cast<double>(legacy.setup_cycles.value()));
+    EXPECT_EQ(st.get("hyp.funnel.candidates", -1),
+              static_cast<double>(legacy.mapper_funnel_candidates.value()));
+    EXPECT_EQ(st.get("hyp.funnel.lb_pruned", -1),
+              static_cast<double>(legacy.mapper_lb_pruned.value()));
+    EXPECT_EQ(st.get("hyp.funnel.memo_hits", -1),
+              static_cast<double>(legacy.mapper_memo_hits.value()));
+    EXPECT_EQ(st.get("hyp.funnel.full_ged", -1),
+              static_cast<double>(legacy.mapper_full_ged.value()));
+    EXPECT_EQ(st.get("hyp.audit.total", -1), 3.0);
+    EXPECT_EQ(st.get("hyp.free_cores", -1),
+              static_cast<double>(hv.num_free_cores()));
+}
+
+TEST(CollectStatsTest, MachineSweepCoversEveryLayer)
+{
+    Machine m(net_cfg());
+    // Drive a little NoC traffic so the layers have something to say.
+    m.network().send(0, 0, 5, 4096, kNoVm, 1);
+    m.event_queue().run();
+    StatSet st;
+    m.collect_stats(st);
+    EXPECT_TRUE(st.has("sim.events_executed"));
+    EXPECT_TRUE(st.has("sim.busy_ticks"));
+    EXPECT_TRUE(st.has("noc.messages"));
+    EXPECT_TRUE(st.has("noc.msg_latency.p99"));
+    EXPECT_TRUE(st.has("noc.links_used"));
+    EXPECT_TRUE(st.has("mem.dram.bytes"));
+    EXPECT_TRUE(st.has("mem.dma.transfers"));
+    EXPECT_TRUE(st.has("core.contexts"));
+    EXPECT_EQ(st.get("noc.messages", -1), 1.0);
+    EXPECT_GT(st.get("sim.events_executed", 0), 0.0);
+}
+
+TEST(NetworkTelemetryTest, LinkCountersTrackFlitsAndBusy)
+{
+    SocConfig cfg = net_cfg();
+    EventQueue eq;
+    MeshTopology topo(cfg.mesh_x, cfg.mesh_y);
+    Network net(cfg, topo, eq);
+    // 4096 B = 2 packets over the 0->1 link (relay mode: whole-message
+    // serialization per hop, busy = router(2) + 4096/16 = 258).
+    net.send(0, 0, 1, 4096, kNoVm, 0);
+    const auto& links = net.link_counters();
+    const auto& l01 = links[0 * 4 + 0]; // node 0, east
+    EXPECT_EQ(l01.flits, 2u);
+    EXPECT_EQ(l01.busy_ticks, 2u + 256u);
+    EXPECT_EQ(net.stats().msg_latency.count(), 1u);
+
+    std::ostringstream os;
+    net.write_link_heatmap(os, 1000);
+    EXPECT_NE(os.str().find("\"from\": 0, \"to\": 1"), std::string::npos);
+    EXPECT_NE(os.str().find("\"utilization\""), std::string::npos);
+
+    net.reset();
+    EXPECT_EQ(net.link_counters()[0].flits, 0u);
+    EXPECT_EQ(net.stats().msg_latency.count(), 0u);
+}
+
+} // namespace
+} // namespace vnpu

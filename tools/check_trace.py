@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the simulator.
+
+Stdlib-only structural validator for CI: parses the file, checks the
+trace-event invariants the obs layer promises (docs/observability.md),
+and optionally requires specific categories to be present.
+
+Usage:
+    python3 tools/check_trace.py TRACE.json [--require CAT ...]
+
+Exit codes: 0 = valid, 1 = violation found, 2 = unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "C", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def check(path, required_cats):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail("'traceEvents' must be an array")
+    if not events:
+        return fail("trace contains no events")
+
+    seen_cats = set()
+    counts = {}
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            return fail(f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            return fail(f"{where} has unexpected phase {ph!r}")
+        counts[ph] = counts.get(ph, 0) + 1
+        if "name" not in ev or not isinstance(ev["name"], str):
+            return fail(f"{where} lacks a string 'name'")
+        if ph == "M":
+            continue  # metadata records carry no ts/cat
+        for key in ("pid", "tid", "ts"):
+            if not isinstance(ev.get(key), int):
+                return fail(f"{where} ({ev['name']}) lacks integer {key!r}")
+        if ev["ts"] < 0:
+            return fail(f"{where} ({ev['name']}) has negative ts")
+        cat = ev.get("cat")
+        if not isinstance(cat, str) or not cat:
+            return fail(f"{where} ({ev['name']}) lacks a category")
+        seen_cats.add(cat)
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                return fail(
+                    f"{where} ({ev['name']}) 'X' needs non-negative dur")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            return fail(f"{where} ({ev['name']}) 'C' needs args")
+
+    missing = [c for c in required_cats if c not in seen_cats]
+    if missing:
+        return fail(
+            f"required categories absent: {missing} (present: "
+            f"{sorted(seen_cats)})")
+
+    phases = ", ".join(f"{p}:{n}" for p, n in sorted(counts.items()))
+    print(f"check_trace: OK: {len(events)} events ({phases}), "
+          f"categories {sorted(seen_cats)}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--require", nargs="*", default=[],
+                    metavar="CAT",
+                    help="categories that must appear (e.g. sim noc hyp)")
+    args = ap.parse_args()
+    sys.exit(check(args.trace, args.require))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Summarize a simulator trace (and optionally an admission audit dump).
+
+Stdlib-only. For a Chrome trace-event JSON file, prints per-category
+event counts and total span time, the busiest event names, and
+per-track span occupancy. With --audit, also summarizes an admission
+audit JSONL dump (hyp::AdmissionAuditRing::dump_jsonl).
+
+Usage:
+    python3 tools/trace_summary.py TRACE.json [--audit AUDIT.jsonl]
+    python3 tools/trace_summary.py --audit AUDIT.jsonl
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def summarize_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", [])
+
+    track_names = {}
+    cat_count = defaultdict(int)
+    cat_dur = defaultdict(int)
+    name_count = defaultdict(int)
+    name_dur = defaultdict(int)
+    track_dur = defaultdict(int)
+    span_end = 0
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                track_names[ev.get("tid")] = ev["args"]["name"]
+            continue
+        cat = ev.get("cat", "?")
+        cat_count[cat] += 1
+        name_count[ev.get("name", "?")] += 1
+        end = ev.get("ts", 0)
+        if ph == "X":
+            dur = ev.get("dur", 0)
+            cat_dur[cat] += dur
+            name_dur[ev.get("name", "?")] += dur
+            track_dur[ev.get("tid", 0)] += dur
+            end += dur
+        span_end = max(span_end, end)
+
+    print(f"{path}: {len(events)} events, trace spans [0, {span_end}] ticks")
+    print("\nper category:")
+    print(f"  {'cat':<8}{'events':>10}{'span ticks':>14}")
+    for cat in sorted(cat_count):
+        print(f"  {cat:<8}{cat_count[cat]:>10}{cat_dur[cat]:>14}")
+
+    print("\ntop event names:")
+    top = sorted(name_count.items(), key=lambda kv: -kv[1])[:8]
+    for name, n in top:
+        print(f"  {name:<16}{n:>8} events{name_dur[name]:>14} ticks")
+
+    if span_end > 0 and track_dur:
+        print("\nper-track span occupancy:")
+        busiest = sorted(track_dur.items(), key=lambda kv: -kv[1])[:8]
+        for tid, dur in busiest:
+            label = track_names.get(tid, f"core {tid}")
+            util = dur / span_end
+            print(f"  {label:<16}{dur:>12} ticks  {util:>6.1%}")
+
+
+def summarize_audit(path):
+    entries = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    if not entries:
+        print(f"{path}: empty audit log")
+        return
+
+    by_strategy = defaultdict(lambda: {"admitted": 0, "rejected": 0,
+                                       "ted": 0.0, "cores": 0})
+    for e in entries:
+        s = by_strategy[e.get("strategy", "?")]
+        if e.get("admitted"):
+            s["admitted"] += 1
+            s["ted"] += e.get("ted", 0)
+        else:
+            s["rejected"] += 1
+        s["cores"] += e.get("requested_cores", 0)
+
+    first, last = entries[0], entries[-1]
+    print(f"{path}: {len(entries)} retained decisions "
+          f"(seq {first.get('seq')}..{last.get('seq')})")
+    print(f"  {'strategy':<12}{'admitted':>10}{'rejected':>10}"
+          f"{'mean TED':>10}{'mean cores':>12}")
+    for strat in sorted(by_strategy):
+        s = by_strategy[strat]
+        total = s["admitted"] + s["rejected"]
+        mean_ted = s["ted"] / s["admitted"] if s["admitted"] else 0.0
+        print(f"  {strat:<12}{s['admitted']:>10}{s['rejected']:>10}"
+              f"{mean_ted:>10.1f}{s['cores'] / total:>12.1f}")
+    errors = [e for e in entries if e.get("error")]
+    if errors:
+        print(f"  {len(errors)} entries carry an error, e.g.: "
+              f"{errors[-1]['error']}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", nargs="?", help="Chrome trace-event JSON")
+    ap.add_argument("--audit", metavar="FILE",
+                    help="admission audit JSONL dump")
+    args = ap.parse_args()
+    if not args.trace and not args.audit:
+        ap.error("nothing to do: give a trace file and/or --audit")
+    try:
+        if args.trace:
+            summarize_trace(args.trace)
+        if args.audit:
+            if args.trace:
+                print()
+            summarize_audit(args.audit)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_summary: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main()
