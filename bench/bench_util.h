@@ -7,15 +7,20 @@
 #define VNPU_BENCH_BENCH_UTIL_H
 
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 namespace vnpu::bench {
@@ -69,6 +74,145 @@ class TraceSession {
   private:
     std::string path_;
     std::unique_ptr<obs::ChromeTraceWriter> writer_;
+};
+
+/**
+ * Opt-in sim-time metrics for a harness run: `--metrics STEM` (or
+ * `--metrics=STEM`) installs a MetricsSampler for the harness's
+ * lifetime; every Machine the harness builds attaches itself. The
+ * sampling interval defaults to 1000 ticks and can be overridden with
+ * `--metrics-interval N`. On exit the timeline is written as
+ * `STEM.csv`, `STEM.json`, a Prometheus snapshot `STEM.prom`, and the
+ * per-run link heatmaps `STEM_heatmap.json`. Same contract as
+ * TraceSession: inert without the flag, status to stderr only.
+ */
+class MetricsSession {
+  public:
+    MetricsSession(int argc, char** argv)
+    {
+        Tick interval = 1000;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--metrics" && i + 1 < argc)
+                stem_ = argv[++i];
+            else if (a.rfind("--metrics=", 0) == 0)
+                stem_ = a.substr(10);
+            else if (a == "--metrics-interval" && i + 1 < argc)
+                interval = std::strtoull(argv[++i], nullptr, 10);
+            else if (a.rfind("--metrics-interval=", 0) == 0)
+                interval = std::strtoull(a.c_str() + 19, nullptr, 10);
+        }
+        if (stem_.empty())
+            return;
+        sampler_ = std::make_unique<obs::MetricsSampler>(interval);
+        obs::set_metrics(sampler_.get());
+    }
+
+    MetricsSession(const MetricsSession&) = delete;
+    MetricsSession& operator=(const MetricsSession&) = delete;
+
+    ~MetricsSession()
+    {
+        if (!sampler_)
+            return;
+        obs::set_metrics(nullptr);
+        write_file(stem_ + ".csv",
+                   [&](std::ostream& os) { sampler_->write_csv(os); });
+        write_file(stem_ + ".json",
+                   [&](std::ostream& os) { sampler_->write_json(os); });
+        write_file(stem_ + ".prom",
+                   [&](std::ostream& os) { sampler_->write_prom(os); });
+        write_file(stem_ + "_heatmap.json", [&](std::ostream& os) {
+            sampler_->write_heatmap_json(os);
+        });
+        std::fprintf(stderr,
+                     "[metrics: %llu samples over %d run(s) -> %s.{csv,"
+                     "json,prom} + %s_heatmap.json]\n",
+                     static_cast<unsigned long long>(
+                         sampler_->num_samples()),
+                     sampler_->num_runs(), stem_.c_str(), stem_.c_str());
+    }
+
+    bool active() const { return sampler_ != nullptr; }
+
+  private:
+    template <typename Fn>
+    void
+    write_file(const std::string& path, Fn fn)
+    {
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "[metrics: cannot open %s]\n",
+                         path.c_str());
+            return;
+        }
+        fn(os);
+    }
+
+    std::string stem_;
+    std::unique_ptr<obs::MetricsSampler> sampler_;
+};
+
+/**
+ * Opt-in host-side self-profiling: `--profile` installs a Profiler for
+ * the harness's lifetime and prints its report (per-scope wall-clock
+ * table, per-thread occupancy, coverage vs the session's own wall
+ * time) to stderr on exit. `--profile=FILE` additionally writes the
+ * machine-readable JSON report. Inert without the flag; the stdout
+ * golden output is untouched either way.
+ */
+class ProfileSession {
+  public:
+    ProfileSession(int argc, char** argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--profile")
+                enabled_ = true;
+            else if (a.rfind("--profile=", 0) == 0) {
+                enabled_ = true;
+                json_path_ = a.substr(10);
+            }
+        }
+        if (!enabled_)
+            return;
+        profiler_ = std::make_unique<obs::Profiler>();
+        obs::set_profiler(profiler_.get());
+        t0_ = std::chrono::steady_clock::now();
+    }
+
+    ProfileSession(const ProfileSession&) = delete;
+    ProfileSession& operator=(const ProfileSession&) = delete;
+
+    ~ProfileSession()
+    {
+        if (!profiler_)
+            return;
+        const auto dt = std::chrono::steady_clock::now() - t0_;
+        const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count());
+        obs::set_profiler(nullptr);
+        std::ostringstream text;
+        profiler_->write_text(text, wall_ns);
+        std::fprintf(stderr, "%s", text.str().c_str());
+        if (!json_path_.empty()) {
+            std::ofstream os(json_path_);
+            if (os)
+                profiler_->write_json(os, wall_ns);
+            else
+                std::fprintf(stderr, "[profile: cannot open %s]\n",
+                             json_path_.c_str());
+        }
+    }
+
+    bool active() const { return profiler_ != nullptr; }
+
+  private:
+    bool enabled_ = false;
+    std::string json_path_;
+    std::unique_ptr<obs::Profiler> profiler_;
+    std::chrono::steady_clock::time_point t0_;
 };
 
 /** JSON string-literal escaping for names/labels that reach write(). */

@@ -11,8 +11,11 @@
 using namespace vnpu;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 2",
                   "NPU resource evolution 2017-2024 (literature data)");
     bench::JsonReport report("fig02_evolution");

@@ -38,8 +38,11 @@ utilization(const std::string& name, int batch)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 3",
                   "FLOPS utilization on a 36-core chip, by batch size");
     bench::JsonReport report("fig03_utilization");

@@ -24,6 +24,8 @@ int
 main(int argc, char** argv)
 {
     vnpu::bench::TraceSession trace_session(argc, argv);
+    vnpu::bench::MetricsSession metrics_session(argc, argv);
+    vnpu::bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 6",
                   "Global-memory address trace, ResNet on 4 cores");
 

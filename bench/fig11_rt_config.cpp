@@ -13,8 +13,11 @@
 using namespace vnpu;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 11",
                   "Routing-table configuration overhead vs NPU cores");
 

@@ -15,8 +15,11 @@
 using namespace vnpu;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 12",
                   "Instruction dispatch latency vs kernel execution time");
 

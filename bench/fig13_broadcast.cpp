@@ -82,6 +82,8 @@ int
 main(int argc, char** argv)
 {
     vnpu::bench::TraceSession trace_session(argc, argv);
+    vnpu::bench::MetricsSession metrics_session(argc, argv);
+    vnpu::bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 13",
                   "Broadcast cost: vRouter vs UVM memory synchronization");
 

@@ -44,8 +44,11 @@ run_fps(const workload::Model& model, XlatMode xlat, int entries)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 14",
                   "Normalized fps under memory-virtualization methods");
     bench::JsonReport report("fig14_mem_virt");

@@ -74,8 +74,11 @@ multi_instance(const std::string& a, const std::string& b, CommMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 15",
                   "vNPU vs UVM-based virtual NPU, single & multi instance");
 

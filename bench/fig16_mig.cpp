@@ -171,6 +171,8 @@ int
 main(int argc, char** argv)
 {
     vnpu::bench::TraceSession trace_session(argc, argv);
+    vnpu::bench::MetricsSession metrics_session(argc, argv);
+    vnpu::bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 16",
                   "vNPU vs MIG: performance and warm-up, two tenants");
     bench::JsonReport report("fig16_mig");

@@ -86,6 +86,8 @@ int
 main(int argc, char** argv)
 {
     vnpu::bench::TraceSession trace_session(argc, argv);
+    vnpu::bench::MetricsSession metrics_session(argc, argv);
+    vnpu::bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 17/18",
                   "Similar-topology vs straightforward (zig-zag) mapping");
 

@@ -17,8 +17,11 @@ using namespace vnpu;
 using namespace vnpu::virt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
     bench::banner("Figure 19", "Hardware resource cost of virtualization");
 
     HwCost base_ctrl = baseline_controller_cost();

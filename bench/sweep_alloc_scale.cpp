@@ -181,6 +181,8 @@ int
 main(int argc, char** argv)
 {
     bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
     bench::banner("Scale sweep",
                   "Allocation/fragmentation churn on 256- and 1024-core "
                   "meshes (exact vs similar vs MIG)");

@@ -65,8 +65,11 @@ occupancies(int side)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
     bench::banner("Exact-mapping scale sweep",
                   "Complete isomorphism search: rect + polyomino slide "
                   "+ anchored VF2 on 256/1024-core meshes");

@@ -71,6 +71,8 @@ int
 main(int argc, char** argv)
 {
     vnpu::bench::TraceSession trace_session(argc, argv);
+    vnpu::bench::MetricsSession metrics_session(argc, argv);
+    vnpu::bench::ProfileSession profile_session(argc, argv);
     bench::banner("Table 3",
                   "NoC virtualization: send/recv clocks, bare vs vRouter");
     bench::JsonReport report("table3_noc_virt");

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iterator>
 
+#include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -51,6 +53,17 @@ Hypervisor::Hypervisor(const SocConfig& cfg, const noc::MeshTopology& topo,
       free_(CoreSet::first_n(topo.num_nodes()))
 {
     ctrl_.set_hyper_mode(true);
+    // Contribute hyp.* to the metrics timeline when a sampler is
+    // installed (the Machine only sweeps its own layers).
+    if (auto* m = obs::metrics())
+        m->add_collector(this,
+                         [this](StatSet& out) { collect_stats(out); });
+}
+
+Hypervisor::~Hypervisor()
+{
+    if (auto* m = obs::metrics())
+        m->remove_collector(this);
 }
 
 double
@@ -93,6 +106,7 @@ Hypervisor::try_compact_rt(VmId vm,
 std::shared_ptr<const noc::RouteOverride>
 Hypervisor::confined_routes_for(const CoreSet& region)
 {
+    VNPU_PROF("hyp.routes");
     auto it = route_cache_.find(region);
     if (it != route_cache_.end()) {
         ++stats_.route_cache_hits;
@@ -154,6 +168,7 @@ Hypervisor::build_range_table(VmId vm, std::uint64_t bytes)
 virt::VirtualNpu&
 Hypervisor::create(const VnpuSpec& spec)
 {
+    VNPU_PROF("hyp.create");
     const Tick t0 = obs::sim_now();
 
     // 1. Resolve the requested virtual topology.
@@ -351,6 +366,7 @@ Hypervisor::collect_stats(StatSet& out, const std::string& prefix) const
 void
 Hypervisor::destroy(VmId vm)
 {
+    VNPU_PROF("hyp.destroy");
     auto it = vnpus_.find(vm);
     if (it == vnpus_.end())
         fatal("destroy of unknown vm ", vm);

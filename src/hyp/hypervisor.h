@@ -73,6 +73,7 @@ class Hypervisor {
   public:
     Hypervisor(const SocConfig& cfg, const noc::MeshTopology& topo,
                core::NpuController& ctrl);
+    ~Hypervisor();
 
     /**
      * Create a virtual NPU per `spec`.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hyp/topology_mapper.h"
+#include "obs/prof.h"
 #include "sim/log.h"
 
 namespace vnpu::hyp {
@@ -58,6 +59,7 @@ MigPartitioner::snake_cores(const MigPartition& p) const
 virt::VirtualNpu&
 MigPartitioner::create(int num_cores, std::uint64_t memory_bytes)
 {
+    VNPU_PROF("mig.create");
     if (num_cores <= 0)
         fatal("MIG request needs at least one core");
 
@@ -148,6 +150,7 @@ MigPartitioner::create(int num_cores, std::uint64_t memory_bytes)
 void
 MigPartitioner::destroy(VmId vm)
 {
+    VNPU_PROF("mig.destroy");
     auto it = vnpus_.find(vm);
     if (it == vnpus_.end())
         fatal("MIG destroy of unknown vm ", vm);

@@ -6,6 +6,7 @@
 #include <functional>
 #include <limits>
 
+#include "obs/prof.h"
 #include "sim/log.h"
 #include "sim/rng.h"
 #include "sim/task_pool.h"
@@ -175,6 +176,7 @@ struct CandidateCollector {
     bool
     consider(const graph::NodeMask& m)
     {
+        VNPU_PROF("funnel.wl_dedup");
         ++seen;
         std::uint64_t h = mesh.wl_hash_subset(m);
         if (!dedup.insert(h))
@@ -187,6 +189,7 @@ struct CandidateCollector {
     void
     enumerate_phase()
     {
+        VNPU_PROF("funnel.enumerate");
         const int k = req.vtopo.num_nodes();
         // Whole-free-set request: exactly one candidate exists.
         if (k == free.count()) {
@@ -214,6 +217,7 @@ struct CandidateCollector {
     void
     sample_phase()
     {
+        VNPU_PROF("funnel.sample");
         sampling_pending = false;
         const int k = req.vtopo.num_nodes();
         Rng rng(0x5eed + static_cast<std::uint64_t>(k));
@@ -315,6 +319,7 @@ void
 TopologyMapper::refine_wirelength(const graph::Graph& vtopo,
                                   std::vector<CoreId>& assignment) const
 {
+    VNPU_PROF("funnel.2opt");
     const int n = vtopo.num_nodes();
 
     // Greedy chain-following seeds: pipeline traffic flows along the
@@ -561,6 +566,7 @@ TopologyMapper::map_exact(const MappingRequest& req, const CoreSet& free) const
     // what they were before the complete search existed.
     const int k = req.vtopo.num_nodes();
     for (int vw = 1; vw <= k; ++vw) {
+        VNPU_PROF("mapper.exact.rect");
         if (k % vw != 0)
             continue;
         const int vh = k / vw;
@@ -632,6 +638,7 @@ TopologyMapper::map_exact(const MappingRequest& req, const CoreSet& free) const
         uniform = mesh.label(v) == mesh.label(0);
     const CoreSet all = CoreSet::first_n(topo_.num_nodes());
     if (uniform) {
+        VNPU_PROF("mapper.exact.slide");
         graph::IsoResult shape =
             graph::find_induced_isomorphism(req.vtopo, mesh, all, iso);
         res.search_steps += shape.steps;
@@ -663,6 +670,7 @@ TopologyMapper::map_exact(const MappingRequest& req, const CoreSet& free) const
     iso.max_steps = req.exact_search_budget > res.search_steps
                         ? req.exact_search_budget - res.search_steps
                         : 1;
+    VNPU_PROF("mapper.exact.vf2");
     graph::IsoResult deep =
         graph::find_induced_isomorphism(req.vtopo, mesh, free, iso);
     res.search_steps += deep.steps;
@@ -756,22 +764,31 @@ TopologyMapper::map_similar(const MappingRequest& req, const CoreSet& free,
                     runnable.push_back(static_cast<int>(s));
                     continue;
                 }
-                auto it =
-                    memo_.find(MemoKey{memo_req_hash, col.masks[i]});
-                if (it != memo_.end() &&
-                    (it->second.cost < it->second.bound_used ||
-                     bound <= it->second.bound_used)) {
-                    ++res.funnel_memo_hits;
-                    slots[s].kind = CandidateScore::Kind::kScored;
-                    slots[s].cost = it->second.cost;
-                    slots[s].mapping = it->second.mapping;
-                    slots[s].from_memo = true;
-                    continue;
+                {
+                    VNPU_PROF("funnel.memo_probe");
+                    auto it =
+                        memo_.find(MemoKey{memo_req_hash, col.masks[i]});
+                    if (it != memo_.end() &&
+                        (it->second.cost < it->second.bound_used ||
+                         bound <= it->second.bound_used)) {
+                        ++res.funnel_memo_hits;
+                        slots[s].kind = CandidateScore::Kind::kScored;
+                        slots[s].cost = it->second.cost;
+                        slots[s].mapping = it->second.mapping;
+                        slots[s].from_memo = true;
+                        continue;
+                    }
                 }
                 ++res.funnel_memo_misses;
-                if (graph::ged_lower_bound(
-                        req_profile, subset_profile(mesh, col.masks[i]),
-                        req.ged) > bound) {
+                bool lb_pruned;
+                {
+                    VNPU_PROF("funnel.lb_prune");
+                    lb_pruned = graph::ged_lower_bound(
+                                    req_profile,
+                                    subset_profile(mesh, col.masks[i]),
+                                    req.ged) > bound;
+                }
+                if (lb_pruned) {
                     ++res.funnel_lb_pruned; // cost >= lb > any later best
                     continue;
                 }
@@ -791,6 +808,7 @@ TopologyMapper::map_similar(const MappingRequest& req, const CoreSet& free,
                     // The hot path: approximate scoring through the
                     // hoisted request-side state (== graph::ged on the
                     // induced subgraph, bit for bit).
+                    VNPU_PROF("funnel.full_ged");
                     g = scorer.score_subset(mesh, col.masks[i]);
                     out.bound_used =
                         std::numeric_limits<double>::infinity();
@@ -808,6 +826,7 @@ TopologyMapper::map_similar(const MappingRequest& req, const CoreSet& free,
                     // zero-cost bijection exists, then the zero-bounded
                     // exact search reproduces the canonical (DFS-first)
                     // zero mapping without exploring any paid branch.
+                    VNPU_PROF("funnel.ted0_cert");
                     graph::IsoOptions io;
                     io.max_steps = 1u << 20;
                     graph::IsoResult iso =
@@ -824,6 +843,7 @@ TopologyMapper::map_similar(const MappingRequest& req, const CoreSet& free,
                     }
                 }
                 if (ran_full) {
+                    VNPU_PROF("funnel.full_ged");
                     if (funnel) {
                         // Thread the running best in as a prune bound:
                         // a result worse than `bound` could never win,

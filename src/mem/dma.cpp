@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -30,6 +31,7 @@ Tick
 DmaEngine::transfer(Tick start, Addr va, std::uint64_t bytes, VmId vm,
                     Perm perm)
 {
+    VNPU_PROF("mem.dma");
     VNPU_ASSERT(bytes > 0);
     ++stats_.transfers;
     stats_.bytes += bytes;

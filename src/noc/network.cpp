@@ -4,6 +4,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -111,6 +112,7 @@ SendResult
 Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
               int tag, const RouteOverride* route, bool credit)
 {
+    VNPU_PROF("noc.send");
     VNPU_ASSERT(topo_.valid(src) && topo_.valid(dst));
     ++stats_.messages;
     stats_.bytes += bytes;
@@ -301,6 +303,23 @@ Network::write_link_heatmap(std::ostream& os, Tick elapsed) const
         }
     }
     os << "\n]\n";
+}
+
+void
+Network::append_link_records(std::vector<obs::LinkRecord>& out) const
+{
+    for (int node = 0; node < topo_.num_nodes(); ++node) {
+        for (int d = 0; d < 4; ++d) {
+            const int to =
+                topo_.neighbor(node, static_cast<Direction>(d));
+            if (to == kInvalidCore)
+                continue;
+            const LinkCounters& c =
+                link_ctr_[static_cast<std::size_t>(node) * 4 + d];
+            out.push_back(
+                obs::LinkRecord{node, to, c.flits, c.busy_ticks});
+        }
+    }
 }
 
 void

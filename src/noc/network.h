@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "noc/topology.h"
+#include "obs/metrics.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
 #include "sim/stats.h"
@@ -157,6 +158,14 @@ class Network {
      * final simulated time; 0 omits the utilization field).
      */
     void write_link_heatmap(std::ostream& os, Tick elapsed = 0) const;
+
+    /**
+     * Append one record per directed link (traffic or not), in
+     * (node, direction) order. The list's length and order depend only
+     * on the topology, so the metrics sampler can diff consecutive
+     * snapshots index by index.
+     */
+    void append_link_records(std::vector<obs::LinkRecord>& out) const;
 
     /**
      * Emit one counter-track trace event per node with traffic,

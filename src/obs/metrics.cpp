@@ -1,0 +1,291 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vnpu::obs {
+
+namespace detail {
+MetricsSampler* g_metrics = nullptr;
+} // namespace detail
+
+void
+set_metrics(MetricsSampler* m)
+{
+    detail::g_metrics = m;
+}
+
+namespace {
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+}
+
+/** Prometheus metric name: vnpu_ prefix, [a-zA-Z0-9_] only. */
+std::string
+prom_name(const std::string& name)
+{
+    std::string out = "vnpu_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+MetricsSampler::MetricsSampler(Tick interval)
+    : interval_(interval > 0 ? interval : 1)
+{
+}
+
+int
+MetricsSampler::column(const std::string& name, StatSet::Kind kind)
+{
+    auto [it, inserted] =
+        column_index_.emplace(name, static_cast<int>(columns_.size()));
+    if (inserted) {
+        columns_.push_back(name);
+        column_kinds_.push_back(kind);
+    }
+    return it->second;
+}
+
+void
+MetricsSampler::set_value(Sample& s, int col, double v)
+{
+    if (s.values.size() <= static_cast<std::size_t>(col))
+        s.values.resize(static_cast<std::size_t>(col) + 1,
+                        std::nan(""));
+    s.values[static_cast<std::size_t>(col)] = v;
+}
+
+void
+MetricsSampler::attach_machine(
+    const void* owner, std::function<void(StatSet&)> collect,
+    std::function<void(std::vector<LinkRecord>&)> links,
+    std::function<Histogram()> latency)
+{
+    owner_ = owner;
+    collect_ = std::move(collect);
+    links_ = std::move(links);
+    latency_ = std::move(latency);
+    ++run_;
+    prev_ = StatSet{};
+    have_prev_ = false;
+    prev_latency_ = Histogram{};
+    prev_links_.clear();
+    next_sample_ = interval_;
+    last_sample_tick_ = 0;
+    attached_ = true;
+}
+
+void
+MetricsSampler::detach_machine(const void* owner, Tick final_now)
+{
+    if (!attached_ || owner != owner_)
+        return;
+    // Close the run with a final sample (covers runs shorter than one
+    // interval, and host-side-only runs where the queue never ran).
+    if (!have_prev_ || final_now > last_sample_tick_)
+        sample(final_now);
+    if (links_) {
+        RunHeatmap hm;
+        hm.run = run_;
+        hm.end_tick = final_now;
+        links_(hm.links);
+        heatmaps_.push_back(std::move(hm));
+    }
+    // The providers capture the dying machine; drop them now.
+    attached_ = false;
+    owner_ = nullptr;
+    collect_ = nullptr;
+    links_ = nullptr;
+    latency_ = nullptr;
+}
+
+void
+MetricsSampler::add_collector(const void* owner,
+                              std::function<void(StatSet&)> fn)
+{
+    extra_.emplace_back(owner, std::move(fn));
+}
+
+void
+MetricsSampler::remove_collector(const void* owner)
+{
+    for (auto it = extra_.begin(); it != extra_.end();) {
+        if (it->first == owner)
+            it = extra_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+MetricsSampler::sample(Tick now)
+{
+    if (!attached_)
+        return;
+
+    StatSet cur;
+    if (collect_)
+        collect_(cur);
+    for (const auto& [owner, fn] : extra_)
+        fn(cur);
+
+    Sample s;
+    s.run = run_;
+    s.tick = now;
+    for (const auto& [name, value] : cur.all()) {
+        const StatSet::Kind kind = cur.kind(name);
+        const double v = kind == StatSet::Kind::kCounter
+                             ? value - prev_.get(name, 0.0)
+                             : value;
+        set_value(s, column(name, kind), v);
+    }
+
+    // Windowed latency view: quantiles of only this window's messages.
+    if (latency_) {
+        const Histogram cum = latency_();
+        const Histogram win = cum.delta_since(prev_latency_);
+        static const char* const kCols[] = {
+            "noc.msg_latency.win.count", "noc.msg_latency.win.mean",
+            "noc.msg_latency.win.p50", "noc.msg_latency.win.p90",
+            "noc.msg_latency.win.p99"};
+        const double vals[] = {static_cast<double>(win.count()),
+                               win.mean(), win.quantile(0.50),
+                               win.quantile(0.90), win.quantile(0.99)};
+        for (int i = 0; i < 5; ++i)
+            set_value(s, column(kCols[i], StatSet::Kind::kGauge),
+                      vals[i]);
+        prev_latency_ = cum;
+    }
+
+    // Windowed link heat: only links whose counters moved this window.
+    if (links_) {
+        std::vector<LinkRecord> cum;
+        links_(cum);
+        for (std::size_t i = 0; i < cum.size(); ++i) {
+            const std::uint64_t pf =
+                i < prev_links_.size() ? prev_links_[i].flits : 0;
+            const std::uint64_t pb =
+                i < prev_links_.size() ? prev_links_[i].busy_ticks : 0;
+            if (cum[i].flits != pf || cum[i].busy_ticks != pb) {
+                s.link_deltas.push_back(LinkRecord{
+                    cum[i].from, cum[i].to, cum[i].flits - pf,
+                    cum[i].busy_ticks - pb});
+            }
+        }
+        prev_links_ = std::move(cum);
+    }
+
+    last_cum_ = cur;
+    prev_ = std::move(cur);
+    have_prev_ = true;
+    last_sample_tick_ = now;
+    next_sample_ = now + interval_;
+    samples_.push_back(std::move(s));
+}
+
+void
+MetricsSampler::write_csv(std::ostream& os) const
+{
+    os << "run,tick";
+    for (const auto& c : columns_)
+        os << ',' << c;
+    os << '\n';
+    for (const auto& s : samples_) {
+        os << s.run << ',' << s.tick;
+        for (std::size_t i = 0; i < columns_.size(); ++i) {
+            os << ',';
+            if (i < s.values.size() && !std::isnan(s.values[i]))
+                os << num(s.values[i]);
+        }
+        os << '\n';
+    }
+}
+
+void
+MetricsSampler::write_json(std::ostream& os) const
+{
+    os << "{\n  \"interval\": " << interval_
+       << ",\n  \"runs\": " << (run_ + 1) << ",\n  \"columns\": [\n";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        os << "    {\"name\": \"" << columns_[i] << "\", \"kind\": \""
+           << (column_kinds_[i] == StatSet::Kind::kCounter ? "counter"
+                                                           : "gauge")
+           << "\"}" << (i + 1 < columns_.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"samples\": [\n";
+    for (std::size_t si = 0; si < samples_.size(); ++si) {
+        const Sample& s = samples_[si];
+        os << "    {\"run\": " << s.run << ", \"tick\": " << s.tick
+           << ", \"values\": [";
+        for (std::size_t i = 0; i < columns_.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            if (i < s.values.size() && !std::isnan(s.values[i]))
+                os << num(s.values[i]);
+            else
+                os << "null";
+        }
+        os << "]";
+        if (!s.link_deltas.empty()) {
+            os << ", \"links\": [";
+            for (std::size_t i = 0; i < s.link_deltas.size(); ++i) {
+                const LinkRecord& l = s.link_deltas[i];
+                os << (i > 0 ? ", " : "") << "{\"from\": " << l.from
+                   << ", \"to\": " << l.to << ", \"flits\": " << l.flits
+                   << ", \"busy_ticks\": " << l.busy_ticks << "}";
+            }
+            os << "]";
+        }
+        os << "}" << (si + 1 < samples_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+MetricsSampler::write_prom(std::ostream& os) const
+{
+    for (const auto& [name, value] : last_cum_.all()) {
+        const std::string pn = prom_name(name);
+        os << "# TYPE " << pn << ' '
+           << (last_cum_.kind(name) == StatSet::Kind::kCounter
+                   ? "counter"
+                   : "gauge")
+           << '\n'
+           << pn << ' ' << num(value) << '\n';
+    }
+}
+
+void
+MetricsSampler::write_heatmap_json(std::ostream& os) const
+{
+    os << "[\n";
+    for (std::size_t r = 0; r < heatmaps_.size(); ++r) {
+        const RunHeatmap& hm = heatmaps_[r];
+        os << "  {\"run\": " << hm.run
+           << ", \"end_tick\": " << hm.end_tick << ", \"links\": [";
+        bool first = true;
+        for (const LinkRecord& l : hm.links) {
+            if (l.flits == 0 && l.busy_ticks == 0)
+                continue; // idle links would bloat large meshes
+            os << (first ? "" : ", ") << "{\"from\": " << l.from
+               << ", \"to\": " << l.to << ", \"flits\": " << l.flits
+               << ", \"busy_ticks\": " << l.busy_ticks << "}";
+            first = false;
+        }
+        os << "]}" << (r + 1 < heatmaps_.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+} // namespace vnpu::obs

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Sim-time metrics: a sampler that periodically sweeps the
+ * `collect_stats(StatSet&)` surface into a columnar time series, so
+ * utilization, admission latency and link congestion can be read *over
+ * simulated time* instead of as end-of-run totals.
+ *
+ * Contract (docs/observability.md):
+ *  - Zero overhead when off: the per-batch hook in `EventQueue::run`
+ *    is one branch on a cached global pointer. Nothing about the
+ *    simulation changes when sampling is on — samples are taken
+ *    *outside* the event stream (no events are scheduled), so decision
+ *    sequences and untraced stdout stay byte-identical.
+ *  - Sim-thread-only, like tracing: the sampler is driven from the
+ *    thread running the EventQueue.
+ *  - Counter-kind stats (StatSet::Kind::kCounter) are recorded as
+ *    per-window deltas; gauges as raw values. Windowed latency views
+ *    come from `Histogram::delta_since`, windowed link heat from the
+ *    always-on per-link NoC counters.
+ */
+
+#ifndef VNPU_OBS_METRICS_H
+#define VNPU_OBS_METRICS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace vnpu::obs {
+
+/** One directed NoC link's counters, decoupled from noc:: types so the
+ *  obs layer stays dependency-free. */
+struct LinkRecord {
+    int from = 0;
+    int to = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t busy_ticks = 0;
+};
+
+/**
+ * Collects periodic samples from an attached machine (plus any extra
+ * collectors, e.g. a hypervisor) into an in-memory columnar series.
+ * Harnesses install one globally via `set_metrics()`
+ * (bench::MetricsSession does this for `--metrics`); the Machine
+ * attaches itself on construction. Machines created back to back
+ * (sweep harnesses) each get their own `run` index; sim time restarts
+ * per run.
+ */
+class MetricsSampler {
+  public:
+    /** Sample every `interval` ticks (>= 1). */
+    explicit MetricsSampler(Tick interval = 1000);
+
+    MetricsSampler(const MetricsSampler&) = delete;
+    MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+    Tick interval() const { return interval_; }
+
+    /**
+     * Attach a machine's providers; `owner` identifies it for detach.
+     * `collect` sweeps its StatSet surface; `links` appends cumulative
+     * per-link counters; `latency` snapshots the cumulative message
+     * latency histogram. Starts a new run (latest attach wins).
+     */
+    void attach_machine(const void* owner,
+                        std::function<void(StatSet&)> collect,
+                        std::function<void(std::vector<LinkRecord>&)> links,
+                        std::function<Histogram()> latency);
+
+    /**
+     * Detach `owner` (no-op for a stale owner): takes a final sample
+     * at `final_now` and captures the run's cumulative link heatmap.
+     */
+    void detach_machine(const void* owner, Tick final_now);
+
+    /** Register an extra stats sweep (e.g. Hypervisor) for the
+     *  current samples; removed with `remove_collector`. */
+    void add_collector(const void* owner, std::function<void(StatSet&)> fn);
+    void remove_collector(const void* owner);
+
+    /** Per-batch hook from EventQueue::run; samples when due. */
+    void
+    on_tick(Tick now)
+    {
+        if (attached_ && now >= next_sample_)
+            sample(now);
+    }
+
+    /** Force a sample at `now` (used by detach and tests). */
+    void sample(Tick now);
+
+    /** Runs recorded so far (attach count). */
+    int num_runs() const { return run_ + 1; }
+    std::size_t num_samples() const { return samples_.size(); }
+
+    /** Timeline as CSV: `run,tick,<column>...`; counters are
+     *  per-window deltas, empty cells mean "not present yet". */
+    void write_csv(std::ostream& os) const;
+
+    /** Timeline as JSON: columns with kinds, samples with values and
+     *  sparse per-window link deltas (docs/observability.md). */
+    void write_json(std::ostream& os) const;
+
+    /**
+     * Prometheus text exposition of the latest cumulative snapshot:
+     * `# TYPE vnpu_<name> counter|gauge` + value lines.
+     */
+    void write_prom(std::ostream& os) const;
+
+    /** Cumulative per-run link heatmaps captured at detach. */
+    void write_heatmap_json(std::ostream& os) const;
+
+  private:
+    struct Sample {
+        int run;
+        Tick tick;
+        std::vector<double> values; ///< Indexed by column; NaN = absent.
+        std::vector<LinkRecord> link_deltas; ///< Links active in window.
+    };
+
+    int column(const std::string& name, StatSet::Kind kind);
+    void set_value(Sample& s, int col, double v);
+
+    Tick interval_;
+    bool attached_ = false;
+    const void* owner_ = nullptr;
+    int run_ = -1;
+    Tick next_sample_ = 0;
+    Tick last_sample_tick_ = 0;
+
+    std::function<void(StatSet&)> collect_;
+    std::function<void(std::vector<LinkRecord>&)> links_;
+    std::function<Histogram()> latency_;
+    std::vector<std::pair<const void*, std::function<void(StatSet&)>>>
+        extra_;
+
+    /** Previous cumulative snapshot of the current run. */
+    StatSet prev_;
+    bool have_prev_ = false;
+    Histogram prev_latency_;
+    std::vector<LinkRecord> prev_links_;
+
+    /** Latest cumulative snapshot (Prometheus exposition source). */
+    StatSet last_cum_;
+
+    std::vector<std::string> columns_;
+    std::vector<StatSet::Kind> column_kinds_;
+    std::map<std::string, int> column_index_;
+    std::vector<Sample> samples_;
+
+    struct RunHeatmap {
+        int run;
+        Tick end_tick;
+        std::vector<LinkRecord> links;
+    };
+    std::vector<RunHeatmap> heatmaps_;
+};
+
+namespace detail {
+/** The installed sampler; sim-thread-only, nullptr = metrics off. */
+extern MetricsSampler* g_metrics;
+} // namespace detail
+
+/** The installed sampler, or nullptr — the single branch paid when
+ *  metrics are off. */
+inline MetricsSampler*
+metrics()
+{
+    return detail::g_metrics;
+}
+
+/** Install (or, with nullptr, remove) the global sampler. Not owned. */
+void set_metrics(MetricsSampler* m);
+
+} // namespace vnpu::obs
+
+#endif // VNPU_OBS_METRICS_H

@@ -1,0 +1,226 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+
+namespace vnpu::obs {
+
+namespace detail {
+
+Profiler* g_prof = nullptr;
+
+namespace {
+
+/** Bumped on every set_profiler() so cached thread blocks revalidate. */
+std::atomic<std::uint64_t> g_epoch{0};
+
+/** Site registry: process-wide, append-only. */
+std::mutex g_site_mu;
+std::vector<const char*> g_site_names;
+std::map<std::string, int> g_site_index;
+
+thread_local ProfThreadBlock* t_block = nullptr;
+thread_local std::uint64_t t_block_epoch = ~std::uint64_t{0};
+thread_local std::string t_thread_name;
+
+} // namespace
+
+ProfThreadBlock*
+prof_block()
+{
+    const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+    if (t_block_epoch == epoch)
+        return t_block;
+    Profiler* p = g_prof;
+    t_block = p != nullptr ? p->acquire_block() : nullptr;
+    t_block_epoch = epoch;
+    return t_block;
+}
+
+} // namespace detail
+
+int
+Profiler::site_id(const char* name)
+{
+    std::lock_guard<std::mutex> lk(detail::g_site_mu);
+    auto [it, inserted] = detail::g_site_index.emplace(
+        name, static_cast<int>(detail::g_site_names.size()));
+    if (inserted)
+        detail::g_site_names.push_back(name);
+    return it->second;
+}
+
+detail::ProfThreadBlock*
+Profiler::acquire_block()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    blocks_.push_back(std::make_unique<detail::ProfThreadBlock>());
+    detail::ProfThreadBlock* b = blocks_.back().get();
+    if (!detail::t_thread_name.empty())
+        b->name = detail::t_thread_name;
+    else if (blocks_.size() == 1)
+        b->name = "main";
+    else
+        b->name = "thread-" + std::to_string(blocks_.size() - 1);
+    return b;
+}
+
+Profiler::Report
+Profiler::report() const
+{
+    Report rep;
+    std::vector<const char*> names;
+    {
+        std::lock_guard<std::mutex> lk(detail::g_site_mu);
+        names = detail::g_site_names;
+    }
+    std::vector<SiteReport> sites(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        sites[i].name = names[i];
+
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& block : blocks_) {
+        std::lock_guard<std::mutex> blk(block->mu);
+        for (std::size_t i = 0;
+             i < block->sites.size() && i < sites.size(); ++i) {
+            const auto& s = block->sites[i];
+            sites[i].calls += s.calls;
+            sites[i].incl_ns += s.incl_ns;
+            // Exclusive = inclusive minus time spent in profiled
+            // children; clamped in case a child scope is still open.
+            sites[i].excl_ns +=
+                s.incl_ns > s.child_ns ? s.incl_ns - s.child_ns : 0;
+        }
+        rep.threads.push_back(ThreadReport{block->name, block->root_ns});
+        if (block->name.rfind("worker", 0) != 0)
+            rep.attributed_ns += block->root_ns;
+    }
+    sites.erase(std::remove_if(sites.begin(), sites.end(),
+                               [](const SiteReport& s) {
+                                   return s.calls == 0;
+                               }),
+                sites.end());
+    std::sort(sites.begin(), sites.end(),
+              [](const SiteReport& a, const SiteReport& b) {
+                  if (a.excl_ns != b.excl_ns)
+                      return a.excl_ns > b.excl_ns;
+                  return a.name < b.name;
+              });
+    rep.sites = std::move(sites);
+    return rep;
+}
+
+namespace {
+
+double
+ms(std::uint64_t ns)
+{
+    return static_cast<double>(ns) / 1e6;
+}
+
+} // namespace
+
+void
+Profiler::write_text(std::ostream& os, std::uint64_t wall_ns) const
+{
+    const Report rep = report();
+    std::uint64_t excl_total = 0;
+    for (const auto& s : rep.sites)
+        excl_total += s.excl_ns;
+
+    os << "self-profile: " << rep.sites.size() << " scopes, "
+       << ms(rep.attributed_ns) << " ms attributed";
+    if (wall_ns > 0) {
+        const double cov = static_cast<double>(rep.attributed_ns) /
+                           static_cast<double>(wall_ns);
+        os << " of " << ms(wall_ns) << " ms wall (coverage "
+           << static_cast<int>(cov * 100.0 + 0.5) << "%)";
+    }
+    os << "\n";
+
+    char line[160];
+    std::snprintf(line, sizeof line, "  %-26s %10s %12s %12s %7s\n",
+                  "scope", "calls", "incl ms", "excl ms", "excl%");
+    os << line;
+    for (const auto& s : rep.sites) {
+        const double share =
+            excl_total > 0 ? 100.0 * static_cast<double>(s.excl_ns) /
+                                 static_cast<double>(excl_total)
+                           : 0.0;
+        std::snprintf(line, sizeof line,
+                      "  %-26s %10llu %12.3f %12.3f %6.1f%%\n",
+                      s.name.c_str(),
+                      static_cast<unsigned long long>(s.calls),
+                      ms(s.incl_ns), ms(s.excl_ns), share);
+        os << line;
+    }
+
+    os << "per-thread profiled time:\n";
+    for (const auto& t : rep.threads) {
+        std::snprintf(line, sizeof line, "  %-26s %12.3f ms",
+                      t.name.c_str(), ms(t.root_ns));
+        os << line;
+        if (wall_ns > 0 && t.name.rfind("worker", 0) == 0) {
+            const double occ = static_cast<double>(t.root_ns) /
+                               static_cast<double>(wall_ns);
+            std::snprintf(line, sizeof line, "  (occupancy %.1f%%)",
+                          occ * 100.0);
+            os << line;
+        }
+        os << "\n";
+    }
+}
+
+void
+Profiler::write_json(std::ostream& os, std::uint64_t wall_ns) const
+{
+    const Report rep = report();
+    os << "{\n  \"wall_ns\": " << wall_ns
+       << ",\n  \"attributed_ns\": " << rep.attributed_ns
+       << ",\n  \"scopes\": [\n";
+    for (std::size_t i = 0; i < rep.sites.size(); ++i) {
+        const auto& s = rep.sites[i];
+        os << "    {\"name\": \"" << s.name << "\", \"calls\": " << s.calls
+           << ", \"incl_ns\": " << s.incl_ns
+           << ", \"excl_ns\": " << s.excl_ns << "}"
+           << (i + 1 < rep.sites.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"threads\": [\n";
+    for (std::size_t i = 0; i < rep.threads.size(); ++i) {
+        const auto& t = rep.threads[i];
+        os << "    {\"name\": \"" << t.name
+           << "\", \"root_ns\": " << t.root_ns << "}"
+           << (i + 1 < rep.threads.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+set_profiler(Profiler* p)
+{
+    detail::g_prof = p;
+    detail::g_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+Profiler*
+profiler()
+{
+    return detail::g_prof;
+}
+
+void
+set_prof_thread_name(const char* name)
+{
+    detail::t_thread_name = name;
+    // Rename an already-acquired block for the current profiler too.
+    const std::uint64_t epoch =
+        detail::g_epoch.load(std::memory_order_acquire);
+    if (detail::t_block_epoch == epoch && detail::t_block != nullptr) {
+        std::lock_guard<std::mutex> lk(detail::t_block->mu);
+        detail::t_block->name = name;
+    }
+}
+
+} // namespace vnpu::obs

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Host-side self-profiling: RAII wall-clock scope timers attributing
+ * the simulator's *own* execution time (not simulated time) to named
+ * sites — the data source for the sub-millisecond-admission and
+ * parallel-DES performance work.
+ *
+ * Contract (docs/observability.md):
+ *  - With no profiler installed, a `VNPU_PROF(name)` site costs one
+ *    predictable branch on a cached pointer load; no clock is read.
+ *  - Thread-safe: every thread accumulates into its own block (created
+ *    lazily, merged at report time), so TaskPool workers profile their
+ *    drain loops without contending with the sim thread. A block's
+ *    totals are only mutated under its own mutex, making `report()`
+ *    race-free even against live scopes.
+ *  - Timestamps are `steady_clock` nanoseconds — this subsystem is the
+ *    deliberate exception to the "sim ticks only" rule because it
+ *    measures the host, not the model. It must therefore never feed
+ *    back into simulation decisions.
+ */
+
+#ifndef VNPU_OBS_PROF_H
+#define VNPU_OBS_PROF_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vnpu::obs {
+
+class Profiler;
+
+namespace detail {
+
+/** The installed profiler; nullptr = profiling off. */
+extern Profiler* g_prof;
+
+/** Per-thread accumulator. Owner thread writes under `mu`; report()
+ *  reads under `mu`. `current` (the innermost open site) is owner-only
+ *  and needs no lock. */
+struct ProfThreadBlock {
+    struct PerSite {
+        std::uint64_t calls = 0;
+        std::uint64_t incl_ns = 0;
+        std::uint64_t child_ns = 0;
+    };
+
+    /** Grow-on-demand accessor (call with `mu` held). */
+    PerSite&
+    site(int id)
+    {
+        if (static_cast<std::size_t>(id) >= sites.size())
+            sites.resize(static_cast<std::size_t>(id) + 1);
+        return sites[static_cast<std::size_t>(id)];
+    }
+
+    std::mutex mu;
+    std::vector<PerSite> sites;
+    /** Inclusive ns of parentless scopes: this thread's profiled time. */
+    std::uint64_t root_ns = 0;
+    std::string name;
+    int current = -1; ///< Innermost open site id (owner thread only).
+};
+
+/** This thread's block under the installed profiler (nullptr when
+ *  profiling is off). Revalidated against the install epoch, so a
+ *  cached block never outlives its profiler. */
+ProfThreadBlock* prof_block();
+
+} // namespace detail
+
+/** True when a profiler is installed — the single branch paid off. */
+inline bool
+prof_enabled()
+{
+    return detail::g_prof != nullptr;
+}
+
+/**
+ * Collects per-site wall-clock totals from every thread that entered a
+ * profiled scope while this profiler was installed.
+ */
+class Profiler {
+  public:
+    Profiler() = default;
+    ~Profiler() = default;
+
+    Profiler(const Profiler&) = delete;
+    Profiler& operator=(const Profiler&) = delete;
+
+    /**
+     * Intern a site name, returning its stable id. Process-wide and
+     * independent of any installed profiler, so `static` site ids in
+     * instrumented code survive profiler swaps. Names must be string
+     * literals (stored by pointer, compared by content).
+     */
+    static int site_id(const char* name);
+
+    /** Merged per-site totals, heaviest exclusive time first. */
+    struct SiteReport {
+        std::string name;
+        std::uint64_t calls = 0;
+        std::uint64_t incl_ns = 0;
+        std::uint64_t excl_ns = 0; ///< incl minus profiled children.
+    };
+
+    /** One contributing thread. */
+    struct ThreadReport {
+        std::string name;
+        std::uint64_t root_ns = 0; ///< Top-level profiled time.
+    };
+
+    struct Report {
+        std::vector<SiteReport> sites;
+        std::vector<ThreadReport> threads;
+        /** Sum of root_ns over sim-side (non-worker) threads: the
+         *  profiled share of the harness's wall clock. */
+        std::uint64_t attributed_ns = 0;
+    };
+
+    /** Snapshot and merge every thread block (safe while scopes run). */
+    Report report() const;
+
+    /**
+     * Human-readable report: per-site table plus per-thread occupancy.
+     * `wall_ns` (when nonzero, e.g. the harness's measured run time)
+     * adds a coverage line — attributed / wall — and scales worker
+     * occupancy percentages.
+     */
+    void write_text(std::ostream& os, std::uint64_t wall_ns = 0) const;
+
+    /** Machine-readable mirror of write_text (one JSON object). */
+    void write_json(std::ostream& os, std::uint64_t wall_ns = 0) const;
+
+  private:
+    friend detail::ProfThreadBlock* detail::prof_block();
+
+    /** Register the calling thread's block (owned by this profiler). */
+    detail::ProfThreadBlock* acquire_block();
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<detail::ProfThreadBlock>> blocks_;
+};
+
+/**
+ * Install (or, with nullptr, remove) the global profiler. Not owned.
+ * Swapping invalidates every thread's cached block, so scopes opened
+ * under the old profiler must have closed before it is destroyed
+ * (bench::ProfileSession brackets whole runs, satisfying this).
+ */
+void set_profiler(Profiler* p);
+Profiler* profiler();
+
+/**
+ * Name the calling thread in profile reports ("worker0", ...). Applies
+ * to the current and any future block of this thread. Threads that
+ * never call this report as "main" (first unnamed) / "thread-N".
+ */
+void set_prof_thread_name(const char* name);
+
+/** RAII scope timer. Construct via VNPU_PROF, not directly. */
+class ProfScope {
+  public:
+    explicit ProfScope(int site)
+    {
+        if (detail::g_prof == nullptr) {
+            block_ = nullptr;
+            return;
+        }
+        block_ = detail::prof_block();
+        if (block_ == nullptr)
+            return;
+        site_ = site;
+        parent_ = block_->current;
+        block_->current = site;
+        t0_ = std::chrono::steady_clock::now();
+    }
+
+    ProfScope(const ProfScope&) = delete;
+    ProfScope& operator=(const ProfScope&) = delete;
+
+    ~ProfScope()
+    {
+        if (block_ == nullptr)
+            return;
+        const auto dt = std::chrono::steady_clock::now() - t0_;
+        const std::uint64_t ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count());
+        block_->current = parent_;
+        std::lock_guard<std::mutex> lk(block_->mu);
+        auto& s = block_->site(site_);
+        ++s.calls;
+        s.incl_ns += ns;
+        if (parent_ >= 0)
+            block_->site(parent_).child_ns += ns;
+        else
+            block_->root_ns += ns;
+    }
+
+  private:
+    detail::ProfThreadBlock* block_;
+    int site_ = -1;
+    int parent_ = -1;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+#define VNPU_PROF_CAT2(a, b) a##b
+#define VNPU_PROF_CAT(a, b) VNPU_PROF_CAT2(a, b)
+
+/**
+ * Profile the enclosing scope under `name` (a string literal). The
+ * site id is interned once per call site; when no profiler is
+ * installed the scope is a cached-pointer branch and nothing else.
+ *
+ *   void Network::send(...) { VNPU_PROF("noc.send"); ... }
+ */
+#define VNPU_PROF(name)                                                      \
+    static const int VNPU_PROF_CAT(vnpu_prof_site_, __LINE__) =              \
+        ::vnpu::obs::Profiler::site_id(name);                                \
+    ::vnpu::obs::ProfScope VNPU_PROF_CAT(vnpu_prof_scope_, __LINE__)(        \
+        VNPU_PROF_CAT(vnpu_prof_site_, __LINE__))
+
+} // namespace vnpu::obs
+
+#endif // VNPU_OBS_PROF_H

@@ -1,5 +1,7 @@
 #include "runtime/machine.h"
 
+#include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -8,6 +10,7 @@ namespace vnpu::runtime {
 Machine::Machine(const SocConfig& cfg)
     : cfg_(cfg), topo_(cfg.mesh_x, cfg.mesh_y)
 {
+    VNPU_PROF("machine.ctor");
     cfg_.validate();
     // Control-plane instrumentation (hypervisor admission spans, log
     // tags) timestamps against this machine's clock.
@@ -30,10 +33,24 @@ Machine::Machine(const SocConfig& cfg)
                                       VmId vm, bool credit) {
         cores_[dst]->deliver(src, bytes, tag, vm, credit);
     });
+
+    // Periodic metrics sampling, when a sampler is installed
+    // (bench::MetricsSession --metrics). Mirrors the sim-clock
+    // registration above: latest machine wins, detach on destruction.
+    if (auto* m = obs::metrics()) {
+        m->attach_machine(
+            this, [this](StatSet& out) { collect_stats(out); },
+            [this](std::vector<obs::LinkRecord>& out) {
+                net_->append_link_records(out);
+            },
+            [this] { return net_->stats().msg_latency; });
+    }
 }
 
 Machine::~Machine()
 {
+    if (auto* m = obs::metrics())
+        m->detach_machine(this, eq_.now());
     obs::clear_sim_clock(&eq_);
 }
 
@@ -59,6 +76,7 @@ Machine::collect_stats(StatSet& out) const
 Tick
 Machine::run(Tick start, Tick limit)
 {
+    VNPU_PROF("machine.run");
     int active_cores = 0;
     for (auto& core : cores_) {
         if (core->num_contexts() > 0) {

@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 namespace vnpu {
@@ -81,12 +83,15 @@ EventQueue::run(Tick limit)
         // Execute the current tick's batch by index: callbacks may
         // append same-tick events, which extend this very batch.
         const std::uint64_t executed_before = executed_;
-        while (batch_pos_ < batch_.size()) {
-            Callback cb = std::move(batch_[batch_pos_++]);
-            --pending_;
-            ++executed_;
-            cb();
-            maybe_compact_batch();
+        if (batch_pos_ < batch_.size()) {
+            VNPU_PROF("sim.batch");
+            while (batch_pos_ < batch_.size()) {
+                Callback cb = std::move(batch_[batch_pos_++]);
+                --pending_;
+                ++executed_;
+                cb();
+                maybe_compact_batch();
+            }
         }
         batch_.clear();
         batch_pos_ = 0;
@@ -99,6 +104,10 @@ EventQueue::run(Tick limit)
                 {obs::arg("events", executed_ - executed_before),
                  obs::arg("pending",
                           static_cast<std::uint64_t>(pending_))}));
+            // Metrics ride outside the event stream: sampling sweeps
+            // read-only stats and can never perturb the simulation.
+            if (auto* m = obs::metrics())
+                m->on_tick(now_);
         }
 
         Tick t = next_event_tick();

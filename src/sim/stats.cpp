@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/log.h"
+
 namespace vnpu {
 
 void
@@ -125,6 +127,38 @@ Histogram::merge(const Histogram& other)
         buckets_[b] += other.buckets_[b];
 }
 
+Histogram
+Histogram::delta_since(const Histogram& prev) const
+{
+    Histogram d;
+    if (count_ <= prev.count_)
+        return d;
+    d.count_ = count_ - prev.count_;
+    d.sum_ = sum_ - prev.sum_;
+    int first = -1;
+    int last = -1;
+    for (int b = 0; b < kNumBuckets; ++b) {
+        const std::uint64_t cur = buckets_[b];
+        const std::uint64_t old = prev.buckets_[b];
+        const std::uint64_t delta = cur > old ? cur - old : 0;
+        d.buckets_[b] = delta;
+        if (delta != 0) {
+            if (first < 0)
+                first = b;
+            last = b;
+        }
+    }
+    // Window extremes approximated by the occupied bucket range,
+    // clamped to the cumulative observed range so quantile() stays
+    // inside real data.
+    d.min_ = first <= 0 ? min_ : std::max(min_, bucket_floor(first));
+    d.max_ = last < 0 ? max_
+                      : std::min(max_, last + 1 < kNumBuckets
+                                           ? bucket_floor(last + 1)
+                                           : max_);
+    return d;
+}
+
 void
 Histogram::reset()
 {
@@ -146,15 +180,41 @@ Histogram::collect(StatSet& out, const std::string& prefix) const
 }
 
 void
+StatSet::note_duplicate(const std::string& name, const char* how)
+{
+    ++duplicate_sets_;
+    if (!warned_) {
+        warned_ = true;
+        warn("stats: duplicate registration of '", name, "' (", how,
+             "); one subsystem is shadowing another's stat");
+    }
+}
+
+void
 StatSet::set(const std::string& name, double value)
 {
+    auto [it, inserted] = kinds_.emplace(name, Kind::kGauge);
+    if (!inserted)
+        note_duplicate(name, it->second == Kind::kGauge
+                                 ? "set() twice"
+                                 : "set() after add()");
     stats_[name] = value;
 }
 
 void
 StatSet::add(const std::string& name, double value)
 {
+    auto [it, inserted] = kinds_.emplace(name, Kind::kCounter);
+    if (!inserted && it->second != Kind::kCounter)
+        note_duplicate(name, "add() after set()");
     stats_[name] += value;
+}
+
+StatSet::Kind
+StatSet::kind(const std::string& name) const
+{
+    auto it = kinds_.find(name);
+    return it == kinds_.end() ? Kind::kGauge : it->second;
 }
 
 double

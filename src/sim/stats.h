@@ -87,6 +87,16 @@ class Histogram {
     /** Fold another histogram in (bucket-wise; exact fields combine). */
     void merge(const Histogram& other);
 
+    /**
+     * The window of samples recorded since `prev`, an earlier snapshot
+     * of this same histogram (bucket-wise subtraction). Exact for
+     * buckets/count/sum — merging every window delta reproduces the
+     * cumulative histogram — while min/max are approximated from the
+     * occupied delta buckets (the exact extremes of a window are not
+     * tracked). Returns an empty histogram when nothing was recorded.
+     */
+    Histogram delta_since(const Histogram& prev) const;
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -116,9 +126,21 @@ class Histogram {
  * result. Convention: accumulating quantities (counters, cycle totals)
  * go through `add()` so several components may share one prefix;
  * point-in-time gauges (cache sizes, utilization) use `set()`.
+ *
+ * The API used to register a key also records its semantic kind
+ * (`add` = accumulating counter, `set` = gauge), which downstream
+ * consumers (the metrics sampler, the Prometheus exposition) use to
+ * pick delta-vs-raw semantics. Registering the same key with `set()`
+ * twice — two subsystems silently shadowing each other's gauge — or
+ * mixing `set()` and `add()` on one key is flagged: the first offense
+ * per StatSet warns on the log, and every offense counts in
+ * `duplicate_sets()` so tests can pin the contract.
  */
 class StatSet {
   public:
+    /** How a key was registered; drives delta-vs-raw sampling. */
+    enum class Kind : std::uint8_t { kGauge, kCounter };
+
     /** Set (or overwrite) a named scalar. */
     void set(const std::string& name, double value);
 
@@ -131,6 +153,13 @@ class StatSet {
     /** True when `name` has been set. */
     bool has(const std::string& name) const;
 
+    /** Registered kind of `name` (kGauge when absent). */
+    Kind kind(const std::string& name) const;
+
+    /** Times a key was re-registered with a conflicting kind or a
+     *  second `set()` (see class comment). */
+    std::uint64_t duplicate_sets() const { return duplicate_sets_; }
+
     /** All stats in name order. */
     const std::map<std::string, double>& all() const { return stats_; }
 
@@ -138,7 +167,12 @@ class StatSet {
     void dump(std::ostream& os, const std::string& prefix = "") const;
 
   private:
+    void note_duplicate(const std::string& name, const char* how);
+
     std::map<std::string, double> stats_;
+    std::map<std::string, Kind> kinds_;
+    std::uint64_t duplicate_sets_ = 0;
+    bool warned_ = false;
 };
 
 } // namespace vnpu

@@ -32,8 +32,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/prof.h"
 
 namespace vnpu {
 
@@ -113,8 +116,14 @@ class TaskPool {
     {
         int n = default_threads();
         workers_.reserve(n);
-        for (int i = 0; i < n; ++i)
-            workers_.emplace_back([this] { worker_loop(); });
+        for (int i = 0; i < n; ++i) {
+            workers_.emplace_back([this, i] {
+                // Profile reports key worker occupancy off this name.
+                obs::set_prof_thread_name(
+                    ("worker" + std::to_string(i)).c_str());
+                worker_loop();
+            });
+        }
     }
 
     static int
@@ -130,6 +139,7 @@ class TaskPool {
     void
     drain(Job& job)
     {
+        VNPU_PROF("task_pool.drain");
         draining_ = true;
         while (true) {
             int i = job.next.fetch_add(1, std::memory_order_relaxed);

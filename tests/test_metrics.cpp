@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the sim-time metrics sampler: delta-vs-gauge semantics,
+ * windowed latency views, machine auto-attach, export formats, link
+ * conservation, and the non-perturbation contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hyp/hypervisor.h"
+#include "noc/network.h"
+#include "obs/metrics.h"
+#include "runtime/machine.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace vnpu {
+namespace {
+
+using runtime::Machine;
+
+/** Restore the no-sampler state even when a test fails mid-way. */
+struct MetricsGuard {
+    explicit MetricsGuard(obs::MetricsSampler* m) { obs::set_metrics(m); }
+    ~MetricsGuard() { obs::set_metrics(nullptr); }
+};
+
+SocConfig
+net_cfg()
+{
+    SocConfig c = SocConfig::Fpga();
+    c.mesh_x = 4;
+    c.mesh_y = 4;
+    return c;
+}
+
+/** Sum an integer field over every `"field": N` occurrence in `json`. */
+std::uint64_t
+sum_json_field(const std::string& json, const std::string& field)
+{
+    const std::string key = "\"" + field + "\": ";
+    std::uint64_t sum = 0;
+    for (std::size_t pos = json.find(key); pos != std::string::npos;
+         pos = json.find(key, pos + key.size())) {
+        sum += std::strtoull(json.c_str() + pos + key.size(), nullptr, 10);
+    }
+    return sum;
+}
+
+/** Everything observable about one fixed machine-level scenario. */
+struct MachineResult {
+    Tick end = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t events = 0;
+    std::vector<noc::LinkCounters> links;
+};
+
+/** Drive fixed traffic through a Machine, optionally sampled. */
+MachineResult
+run_machine_scenario(obs::MetricsSampler* sampler)
+{
+    MetricsGuard guard(sampler);
+    Machine m(net_cfg());
+    MachineResult r;
+    m.network().send(0, 0, 5, 4096, kNoVm, 7);
+    m.network().send(0, 3, 15, 2048, kNoVm, 8);
+    m.event_queue().run();
+    m.network().send(m.event_queue().now() + 10, 0, 5, 4096, kNoVm, 7);
+    m.event_queue().run();
+    r.end = m.event_queue().now();
+    r.messages = m.network().stats().messages.value();
+    r.bytes = m.network().stats().bytes.value();
+    r.events = m.event_queue().executed();
+    r.links = m.network().link_counters();
+    return r;
+}
+
+TEST(MetricsTest, DisabledByDefault)
+{
+    EXPECT_EQ(obs::metrics(), nullptr);
+}
+
+TEST(MetricsTest, CounterDeltasAndGaugeRawValues)
+{
+    obs::MetricsSampler s(100);
+    double cum = 0.0, gauge = 0.0;
+    int owner = 0;
+    s.attach_machine(&owner,
+                     [&](StatSet& out) {
+                         out.add("t.ctr", cum);
+                         out.set("t.g", gauge);
+                     },
+                     {}, {});
+    cum = 5.0;
+    gauge = 7.0;
+    s.sample(100);
+    cum = 8.0;
+    gauge = 9.0;
+    s.sample(200);
+    s.detach_machine(&owner, 200);
+
+    std::ostringstream csv;
+    s.write_csv(csv);
+    // Counters report per-window deltas (5 then 3), gauges raw values.
+    EXPECT_EQ(csv.str(), "run,tick,t.ctr,t.g\n"
+                         "0,100,5,7\n"
+                         "0,200,3,9\n");
+
+    std::ostringstream prom;
+    s.write_prom(prom);
+    // Prometheus exposition carries the cumulative value and the kind.
+    EXPECT_NE(prom.str().find("# TYPE vnpu_t_ctr counter\nvnpu_t_ctr 8"),
+              std::string::npos);
+    EXPECT_NE(prom.str().find("# TYPE vnpu_t_g gauge\nvnpu_t_g 9"),
+              std::string::npos);
+}
+
+TEST(MetricsTest, EachAttachStartsANewRunWithFreshDeltas)
+{
+    obs::MetricsSampler s(50);
+    for (int run = 0; run < 2; ++run) {
+        double cum = 0.0;
+        int owner = 0;
+        s.attach_machine(&owner,
+                         [&](StatSet& out) { out.add("c", cum); },
+                         {}, {});
+        cum = 4.0; // cumulative restarts per machine; delta must be 4,
+                   // not 4 minus the previous run's final value
+        s.sample(50);
+        s.detach_machine(&owner, 50);
+    }
+    EXPECT_EQ(s.num_runs(), 2);
+    std::ostringstream csv;
+    s.write_csv(csv);
+    EXPECT_EQ(csv.str(), "run,tick,c\n0,50,4\n1,50,4\n");
+}
+
+TEST(MetricsTest, WindowedLatencyDeltasSumToCumulative)
+{
+    obs::MetricsSampler s(10);
+    Histogram lat;
+    int owner = 0;
+    s.attach_machine(&owner, [](StatSet&) {}, {},
+                     [&] { return lat; });
+    std::uint64_t total = 0;
+    double win_count_sum = 0.0;
+    for (int w = 1; w <= 4; ++w) {
+        for (int i = 0; i < w * 3; ++i) {
+            lat.record(static_cast<double>(16 * w + i));
+            ++total;
+        }
+        s.sample(static_cast<Tick>(10 * w));
+    }
+    s.detach_machine(&owner, 40);
+
+    // Recover the per-window counts from the CSV win.count column.
+    std::istringstream csv([&] {
+        std::ostringstream os;
+        s.write_csv(os);
+        return os.str();
+    }());
+    std::string line;
+    std::getline(csv, line);
+    ASSERT_NE(line.find("noc.msg_latency.win.count"), std::string::npos);
+    while (std::getline(csv, line)) {
+        const std::size_t cut = line.rfind(',');
+        // win.p99 is the last column; win.count is 4 columns before.
+        std::vector<std::string> cells;
+        std::size_t start = 0;
+        for (std::size_t c = line.find(','); c != std::string::npos;
+             c = line.find(',', start)) {
+            cells.push_back(line.substr(start, c - start));
+            start = c + 1;
+        }
+        cells.push_back(line.substr(start));
+        ASSERT_GE(cells.size(), 5u) << line << cut;
+        win_count_sum += std::strtod(
+            cells[cells.size() - 5].c_str(), nullptr);
+    }
+    EXPECT_EQ(win_count_sum, static_cast<double>(total));
+    EXPECT_EQ(lat.count(), total);
+}
+
+TEST(MetricsTest, SamplerDoesNotPerturbSimulation)
+{
+    MachineResult off = run_machine_scenario(nullptr);
+    obs::MetricsSampler s(16);
+    MachineResult on = run_machine_scenario(&s);
+    EXPECT_GT(s.num_samples(), 0u);
+
+    EXPECT_EQ(off.end, on.end);
+    EXPECT_EQ(off.messages, on.messages);
+    EXPECT_EQ(off.bytes, on.bytes);
+    EXPECT_EQ(off.events, on.events);
+    ASSERT_EQ(off.links.size(), on.links.size());
+    for (std::size_t i = 0; i < off.links.size(); ++i) {
+        EXPECT_EQ(off.links[i].flits, on.links[i].flits) << i;
+        EXPECT_EQ(off.links[i].busy_ticks, on.links[i].busy_ticks) << i;
+    }
+}
+
+TEST(MetricsTest, MachineAutoAttachesAndLinkDeltasConserveFlits)
+{
+    obs::MetricsSampler s(16);
+    std::uint64_t total_flits = 0;
+    {
+        MetricsGuard guard(&s);
+        Machine m(net_cfg());
+        m.network().send(0, 0, 5, 4096, kNoVm, 7);
+        m.network().send(0, 3, 15, 2048, kNoVm, 8);
+        m.event_queue().run();
+        for (const noc::LinkCounters& c : m.network().link_counters())
+            total_flits += c.flits;
+        // Machine destruction detaches: final sample + run heatmap.
+    }
+    ASSERT_GT(s.num_samples(), 0u);
+    ASSERT_GT(total_flits, 0u);
+
+    // Per-window link deltas across all samples must sum to the
+    // cumulative flit count, as must the detach-time heatmap.
+    std::ostringstream tl, hm;
+    s.write_json(tl);
+    s.write_heatmap_json(hm);
+    EXPECT_EQ(sum_json_field(tl.str(), "flits"), total_flits);
+    EXPECT_EQ(sum_json_field(hm.str(), "flits"), total_flits);
+
+    // Timeline columns cover the machine's stat surface.
+    EXPECT_NE(tl.str().find("\"name\": \"noc.messages\", "
+                            "\"kind\": \"counter\""),
+              std::string::npos);
+    EXPECT_NE(tl.str().find("\"name\": \"sim.now\", \"kind\": \"gauge\""),
+              std::string::npos);
+}
+
+TEST(MetricsTest, HypervisorCollectorContributesHypColumns)
+{
+    obs::MetricsSampler s(1000);
+    MetricsGuard guard(&s);
+    Machine m(SocConfig::Sim());
+    hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+    hyp::VnpuSpec spec;
+    spec.num_cores = 4;
+    hv.create(spec);
+    s.sample(500);
+
+    std::ostringstream csv;
+    s.write_csv(csv);
+    EXPECT_NE(csv.str().find("hyp.vnpus_created"), std::string::npos);
+    EXPECT_NE(csv.str().find("hyp.free_cores"), std::string::npos);
+
+    std::ostringstream prom;
+    s.write_prom(prom);
+    EXPECT_NE(prom.str().find("# TYPE vnpu_hyp_vnpus_created counter\n"
+                              "vnpu_hyp_vnpus_created 1"),
+              std::string::npos);
+}
+
+TEST(MetricsTest, DetachSamplesShortRunsAndStaleOwnerIsIgnored)
+{
+    obs::MetricsSampler s(1'000'000); // interval longer than the run
+    int owner = 0;
+    double cum = 3.0;
+    s.attach_machine(&owner,
+                     [&](StatSet& out) { out.add("c", cum); },
+                     {}, {});
+    int stale = 0;
+    s.detach_machine(&stale, 99); // not the owner: must be a no-op
+    EXPECT_EQ(s.num_samples(), 0u);
+    s.detach_machine(&owner, 99); // takes the final (only) sample
+    EXPECT_EQ(s.num_samples(), 1u);
+
+    std::ostringstream csv;
+    s.write_csv(csv);
+    EXPECT_EQ(csv.str(), "run,tick,c\n0,99,3\n");
+}
+
+} // namespace
+} // namespace vnpu

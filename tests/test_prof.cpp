@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the host-side self-profiler: scope nesting arithmetic,
+ * per-thread merge and worker naming, the disabled no-op path, and the
+ * presence of the admission-funnel instrumentation sites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "hyp/hypervisor.h"
+#include "obs/prof.h"
+#include "runtime/machine.h"
+#include "sim/config.h"
+
+namespace vnpu {
+namespace {
+
+using runtime::Machine;
+
+/** Restore the no-profiler state even when a test fails mid-way. */
+struct ProfGuard {
+    explicit ProfGuard(obs::Profiler* p) { obs::set_profiler(p); }
+    ~ProfGuard() { obs::set_profiler(nullptr); }
+};
+
+const obs::Profiler::SiteReport*
+find_site(const obs::Profiler::Report& rep, const std::string& name)
+{
+    for (const auto& s : rep.sites)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+/** Burn a little CPU so scope durations are visibly nonzero. */
+void
+spin()
+{
+    volatile std::uint64_t x = 0;
+    for (int i = 0; i < 20000; ++i)
+        x += static_cast<std::uint64_t>(i) * i;
+}
+
+void
+leaf_scope()
+{
+    VNPU_PROF("test.inner");
+    spin();
+}
+
+void
+outer_scope()
+{
+    VNPU_PROF("test.outer");
+    spin();
+    leaf_scope();
+    leaf_scope();
+}
+
+TEST(ProfTest, DisabledByDefaultAndScopesAreNoOps)
+{
+    EXPECT_FALSE(obs::prof_enabled());
+    EXPECT_EQ(obs::profiler(), nullptr);
+    outer_scope(); // must be harmless without a profiler
+}
+
+TEST(ProfTest, SiteIdsAreInternedAndStable)
+{
+    const int a = obs::Profiler::site_id("test.same_site");
+    const int b = obs::Profiler::site_id("test.same_site");
+    const int c = obs::Profiler::site_id("test.other_site");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(ProfTest, NestedScopesSplitInclusiveAndExclusive)
+{
+    obs::Profiler prof;
+    {
+        ProfGuard guard(&prof);
+        outer_scope();
+        outer_scope();
+    }
+    const obs::Profiler::Report rep = prof.report();
+    const auto* outer = find_site(rep, "test.outer");
+    const auto* inner = find_site(rep, "test.inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->calls, 2u);
+    EXPECT_EQ(inner->calls, 4u);
+    EXPECT_GT(outer->incl_ns, 0u);
+    EXPECT_GT(inner->incl_ns, 0u);
+    // Exclusive = inclusive minus profiled children, exactly: inner's
+    // full inclusive time was charged to outer's child_ns.
+    EXPECT_EQ(outer->excl_ns, outer->incl_ns - inner->incl_ns);
+    // Inner has no profiled children.
+    EXPECT_EQ(inner->excl_ns, inner->incl_ns);
+    // All top-level time is attributed to this (non-worker) thread.
+    EXPECT_EQ(rep.attributed_ns, outer->incl_ns);
+}
+
+TEST(ProfTest, ThreadsMergeAndWorkerTimeIsNotAttributed)
+{
+    obs::Profiler prof;
+    {
+        ProfGuard guard(&prof);
+        outer_scope();
+        std::thread t([] {
+            obs::set_prof_thread_name("worker99");
+            leaf_scope();
+        });
+        t.join();
+    }
+    const obs::Profiler::Report rep = prof.report();
+    const auto* inner = find_site(rep, "test.inner");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->calls, 3u); // 2 from outer_scope + 1 from worker
+
+    bool saw_worker = false;
+    std::uint64_t worker_ns = 0;
+    for (const auto& t : rep.threads) {
+        if (t.name == "worker99") {
+            saw_worker = true;
+            worker_ns = t.root_ns;
+        }
+    }
+    EXPECT_TRUE(saw_worker);
+    EXPECT_GT(worker_ns, 0u);
+    // Worker root time is reported but excluded from attributed_ns,
+    // which is the coverage basis for the sim thread's wall clock.
+    const auto* outer = find_site(rep, "test.outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(rep.attributed_ns, outer->incl_ns);
+}
+
+TEST(ProfTest, SwappingProfilersIsolatesTheirCounts)
+{
+    obs::Profiler first, second;
+    {
+        ProfGuard guard(&first);
+        leaf_scope();
+    }
+    {
+        ProfGuard guard(&second);
+        leaf_scope();
+        leaf_scope();
+    }
+    const obs::Profiler::Report rep_a = first.report();
+    const obs::Profiler::Report rep_b = second.report();
+    const auto* a = find_site(rep_a, "test.inner");
+    const auto* b = find_site(rep_b, "test.inner");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->calls, 1u);
+    EXPECT_EQ(b->calls, 2u);
+}
+
+TEST(ProfTest, AdmissionFunnelStagesAreIndividuallyVisible)
+{
+    obs::Profiler prof;
+    {
+        ProfGuard guard(&prof);
+        Machine m(SocConfig::Sim());
+        hyp::Hypervisor hv(m.config(), m.topology(), m.controller());
+        for (int i = 0; i < 4; ++i) {
+            hyp::VnpuSpec spec;
+            spec.num_cores = 5; // non-rectangular: exercises the funnel
+            spec.strategy = hyp::MappingStrategy::kSimilarTopology;
+            hv.create(spec);
+        }
+    }
+    const obs::Profiler::Report rep = prof.report();
+    for (const char* site :
+         {"hyp.create", "machine.ctor", "funnel.enumerate",
+          "funnel.wl_dedup", "funnel.memo_probe", "funnel.lb_prune"}) {
+        const auto* s = find_site(rep, site);
+        ASSERT_NE(s, nullptr) << site;
+        EXPECT_GT(s->calls, 0u) << site;
+    }
+    EXPECT_GT(rep.attributed_ns, 0u);
+}
+
+TEST(ProfTest, ReportFormatsCarryScopesAndThreads)
+{
+    obs::Profiler prof;
+    {
+        ProfGuard guard(&prof);
+        outer_scope();
+    }
+    std::ostringstream text;
+    prof.write_text(text, 1'000'000'000ull);
+    EXPECT_NE(text.str().find("self-profile:"), std::string::npos);
+    EXPECT_NE(text.str().find("test.outer"), std::string::npos);
+    EXPECT_NE(text.str().find("coverage"), std::string::npos);
+    EXPECT_NE(text.str().find("per-thread profiled time:"),
+              std::string::npos);
+
+    std::ostringstream json;
+    prof.write_json(json, 42);
+    EXPECT_NE(json.str().find("\"wall_ns\": 42"), std::string::npos);
+    EXPECT_NE(json.str().find("\"attributed_ns\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"name\": \"test.outer\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace vnpu

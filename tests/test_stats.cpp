@@ -7,6 +7,8 @@
 
 #include <sstream>
 
+#include "runtime/machine.h"
+#include "sim/config.h"
 #include "sim/log.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
@@ -137,6 +139,97 @@ TEST(RngTest, BoundsRespected)
         EXPECT_GE(d, 0.0);
         EXPECT_LT(d, 1.0);
     }
+}
+
+TEST(StatSetTest, RegistrationRecordsKind)
+{
+    StatSet st;
+    st.add("ctr", 3.0);
+    st.set("gauge", 7.0);
+    EXPECT_EQ(st.kind("ctr"), StatSet::Kind::kCounter);
+    EXPECT_EQ(st.kind("gauge"), StatSet::Kind::kGauge);
+    // Unknown keys default to gauge (raw-value) semantics.
+    EXPECT_EQ(st.kind("absent"), StatSet::Kind::kGauge);
+    // Repeated add() on one key is the intended sharing pattern.
+    st.add("ctr", 2.0);
+    EXPECT_EQ(st.get("ctr", -1), 5.0);
+    EXPECT_EQ(st.duplicate_sets(), 0u);
+}
+
+TEST(StatSetTest, DuplicateRegistrationIsCountedAndLastWriteWins)
+{
+    StatSet st;
+    st.set("a", 1.0);
+    st.set("a", 2.0); // second set(): one subsystem shadows another
+    EXPECT_EQ(st.duplicate_sets(), 1u);
+    EXPECT_EQ(st.get("a", -1), 2.0);
+
+    st.add("b", 1.0);
+    st.set("b", 5.0); // set() after add(): kind conflict
+    EXPECT_EQ(st.duplicate_sets(), 2u);
+
+    st.set("c", 1.0);
+    st.add("c", 1.0); // add() after set(): kind conflict
+    EXPECT_EQ(st.duplicate_sets(), 3u);
+
+    // A fresh StatSet starts clean (the warning is per-set, the
+    // counter is per-offense).
+    StatSet fresh;
+    fresh.set("a", 1.0);
+    EXPECT_EQ(fresh.duplicate_sets(), 0u);
+}
+
+TEST(StatSetTest, MachineSweepHasNoDuplicateRegistrations)
+{
+    // Pin the repo-wide contract: one collect_stats sweep never
+    // registers the same key twice (each layer owns a unique prefix).
+    runtime::Machine m(SocConfig::Fpga());
+    StatSet st;
+    m.collect_stats(st);
+    EXPECT_EQ(st.duplicate_sets(), 0u);
+    EXPECT_GT(st.all().size(), 0u);
+}
+
+TEST(HistogramDeltaTest, WindowDeltasMergeBackToCumulative)
+{
+    Histogram cum, merged;
+    Histogram prev; // snapshot at the previous window boundary
+    Rng rng(42);
+    for (int w = 0; w < 5; ++w) {
+        for (int i = 0; i < 300; ++i)
+            cum.record(static_cast<double>(rng.next_below(100000) + 1));
+        Histogram win = cum.delta_since(prev);
+        EXPECT_EQ(win.count(), 300u) << w;
+        merged.merge(win);
+        prev = cum;
+    }
+    EXPECT_EQ(merged.count(), cum.count());
+    EXPECT_EQ(merged.sum(), cum.sum());
+    for (double p : {0.25, 0.5, 0.9, 0.99})
+        EXPECT_EQ(merged.quantile(p), cum.quantile(p)) << "p=" << p;
+}
+
+TEST(HistogramDeltaTest, EmptyWindowAndBoundedMinMax)
+{
+    Histogram cum;
+    cum.record(100.0);
+    Histogram snap = cum;
+    // Nothing recorded since the snapshot: the delta is empty.
+    Histogram none = cum.delta_since(snap);
+    EXPECT_EQ(none.count(), 0u);
+    EXPECT_EQ(none.sum(), 0.0);
+
+    cum.record(500.0);
+    cum.record(700.0);
+    Histogram win = cum.delta_since(snap);
+    EXPECT_EQ(win.count(), 2u);
+    EXPECT_EQ(win.sum(), 1200.0);
+    // min/max are bucket approximations, clamped into the cumulative
+    // exact range and bracketing the window's true extremes' buckets.
+    EXPECT_GE(win.min(), cum.min());
+    EXPECT_LE(win.max(), cum.max());
+    EXPECT_LE(win.min(), 500.0);
+    EXPECT_GE(win.max(), 700.0 / 1.05);
 }
 
 } // namespace

@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Track reproduced bench numbers across commits (ISSUE 8).
+
+Stdlib-only. Each CI build appends one record per run of the bench
+harnesses into ``bench/trajectory.jsonl``:
+
+    {"sha": "<git sha>", "timestamp": "<ISO-8601 UTC>",
+     "benches": {"<stem>": {"<case>": {"<field>": <number>, ...}}}}
+
+built from the machine-readable ``BENCH_<stem>.json`` artifacts the
+harnesses write next to their stdout tables. The trajectory gives every
+reproduced figure/table a history, so a number drifting over weeks is
+visible even when no single PR trips a gate.
+
+Modes:
+    append  — record the BENCH_*.json files of the current build
+    compare — per-metric delta table between two recorded shas
+    gate    — fail when a declared key metric regresses vs the median
+              of recent records (tools/bench_key_metrics.json)
+
+Usage:
+    python3 tools/bench_trajectory.py append [--sha SHA] [BENCH.json ...]
+    python3 tools/bench_trajectory.py compare SHA1 SHA2
+    python3 tools/bench_trajectory.py gate [BENCH.json ...]
+
+Exit codes: 0 ok, 1 regression (gate) / sha not found (compare),
+2 usage or IO error.
+"""
+
+import argparse
+import datetime
+import glob
+import json
+import subprocess
+import sys
+
+
+def die(msg):
+    print(f"bench_trajectory: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        die(f"cannot read {path}: {e}")
+
+
+def load_trajectory(path):
+    """All records, oldest first. A missing file is an empty history."""
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError as e:
+                    die(f"{path}:{lineno}: bad record: {e}")
+    except OSError:
+        pass
+    return records
+
+
+def collect_benches(paths):
+    """BENCH_*.json files -> {stem: {case: {field: number}}}."""
+    if not paths:
+        paths = sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        die("no BENCH_*.json files given or found in the working "
+            "directory")
+    benches = {}
+    for path in paths:
+        doc = load_json(path)
+        stem = doc.get("bench")
+        cases = doc.get("cases")
+        if not isinstance(stem, str) or not isinstance(cases, list):
+            die(f"{path}: not a bench report (needs 'bench' + 'cases')")
+        by_case = {}
+        for case in cases:
+            name = case.get("name", "")
+            by_case[name] = {
+                k: v for k, v in case.items()
+                if k != "name" and isinstance(v, (int, float))
+            }
+        benches[stem] = by_case
+    return benches
+
+
+def git_sha():
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        die("not in a git checkout; pass --sha explicitly")
+
+
+def find_record(records, sha):
+    """Latest record whose sha starts with `sha` (prefix match)."""
+    for rec in reversed(records):
+        if rec.get("sha", "").startswith(sha):
+            return rec
+    return None
+
+
+def metric_value(record, bench, case, field):
+    return (record.get("benches", {}).get(bench, {}).get(case, {})
+            .get(field))
+
+
+def cmd_append(args):
+    benches = collect_benches(args.bench_files)
+    record = {
+        "sha": args.sha or git_sha(),
+        "timestamp": args.timestamp or
+            datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "benches": benches,
+    }
+    with open(args.trajectory, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    ncases = sum(len(c) for c in benches.values())
+    print(f"appended {record['sha'][:12]} ({len(benches)} benches, "
+          f"{ncases} cases) -> {args.trajectory}")
+    return 0
+
+
+def cmd_compare(args):
+    records = load_trajectory(args.trajectory)
+    if not records:
+        die(f"{args.trajectory} is empty or missing")
+    a = find_record(records, args.sha1)
+    b = find_record(records, args.sha2)
+    missing = [s for s, r in ((args.sha1, a), (args.sha2, b)) if r is None]
+    if missing:
+        known = sorted({r.get("sha", "?")[:12] for r in records})
+        print(f"bench_trajectory: sha(s) not recorded: {missing} "
+              f"(known: {known})", file=sys.stderr)
+        return 1
+
+    print(f"{a['sha'][:12]} ({a.get('timestamp', '?')}) vs "
+          f"{b['sha'][:12]} ({b.get('timestamp', '?')})")
+    header = (f"  {'bench/case/field':<52}{'old':>12}{'new':>12}"
+              f"{'delta':>10}")
+    print(header)
+    shown = 0
+    for bench in sorted(set(a["benches"]) | set(b["benches"])):
+        cases = (set(a["benches"].get(bench, {})) |
+                 set(b["benches"].get(bench, {})))
+        for case in sorted(cases):
+            fields = (set(a["benches"].get(bench, {}).get(case, {})) |
+                      set(b["benches"].get(bench, {}).get(case, {})))
+            for field in sorted(fields):
+                va = metric_value(a, bench, case, field)
+                vb = metric_value(b, bench, case, field)
+                if args.changed_only and va == vb:
+                    continue
+                label = f"{bench}/{case}/{field}"
+                sa = "-" if va is None else f"{va:g}"
+                sb = "-" if vb is None else f"{vb:g}"
+                if va not in (None, 0) and vb is not None:
+                    delta = f"{100.0 * (vb - va) / abs(va):+.1f}%"
+                else:
+                    delta = "-"
+                print(f"  {label:<52}{sa:>12}{sb:>12}{delta:>10}")
+                shown += 1
+    if shown == 0:
+        print("  (no differing metrics)")
+    return 0
+
+
+def median(values):
+    vals = sorted(values)
+    n = len(vals)
+    mid = n // 2
+    return vals[mid] if n % 2 else (vals[mid - 1] + vals[mid]) / 2.0
+
+
+def cmd_gate(args):
+    decl = load_json(args.key_metrics)
+    metrics = decl.get("metrics", [])
+    if not metrics:
+        die(f"{args.key_metrics} declares no metrics")
+    window = int(decl.get("window", 5))
+
+    current = collect_benches(args.bench_files)
+    history = load_trajectory(args.trajectory)
+
+    failures = []
+    for m in metrics:
+        bench, case, field = m["bench"], m["case"], m["field"]
+        direction = m.get("direction", "lower")
+        max_pct = float(m.get("max_regress_pct", 0.0))
+        label = f"{bench}/{case}/{field}"
+
+        cur = current.get(bench, {}).get(case, {}).get(field)
+        if cur is None:
+            failures.append(f"{label}: missing from current bench output")
+            continue
+
+        prior = [v for v in
+                 (metric_value(r, bench, case, field) for r in history)
+                 if v is not None][-window:]
+        if not prior:
+            print(f"ok: {label} = {cur:g} (no history yet)")
+            continue
+        base = median(prior)
+
+        if direction == "exact":
+            bad = cur != base
+            limit = f"= {base:g}"
+        elif direction == "higher":
+            floor = base * (1.0 - max_pct / 100.0)
+            bad = cur < floor
+            limit = f">= {floor:g}"
+        else:  # lower
+            ceil = base * (1.0 + max_pct / 100.0)
+            bad = cur > ceil
+            limit = f"<= {ceil:g}"
+        if bad:
+            failures.append(
+                f"{label}: {cur:g} violates {limit} "
+                f"(median of last {len(prior)}: {base:g}, "
+                f"direction {direction})")
+        else:
+            print(f"ok: {label} = {cur:g} ({limit}, "
+                  f"median of last {len(prior)}: {base:g})")
+
+    if failures:
+        print("bench trajectory regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--trajectory", default="bench/trajectory.jsonl",
+                    help="history file (default bench/trajectory.jsonl)")
+    sub = ap.add_subparsers(dest="mode", required=True)
+
+    p = sub.add_parser("append", help="record this build's BENCH files")
+    p.add_argument("bench_files", nargs="*", metavar="BENCH.json")
+    p.add_argument("--sha", help="commit id (default: git rev-parse HEAD)")
+    p.add_argument("--timestamp", help="override the UTC timestamp")
+    p.set_defaults(fn=cmd_append)
+
+    p = sub.add_parser("compare", help="delta table between two shas")
+    p.add_argument("sha1")
+    p.add_argument("sha2")
+    p.add_argument("--changed-only", action="store_true",
+                   help="hide metrics with identical values")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("gate", help="fail on key-metric regression")
+    p.add_argument("bench_files", nargs="*", metavar="BENCH.json")
+    p.add_argument("--key-metrics",
+                   default="tools/bench_key_metrics.json")
+    p.set_defaults(fn=cmd_gate)
+
+    args = ap.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,13 @@
 
 Stdlib-only structural validator for CI: parses the file, checks the
 trace-event invariants the obs layer promises (docs/observability.md),
-and optionally requires specific categories to be present.
+and optionally requires specific categories to be present. A --require
+token matches either a category ("noc") or an event-name prefix
+("dma" for the dma.load/dma.store spans in category "mem"), so subsystem
+activity can be required even when it shares a category.
 
 Usage:
-    python3 tools/check_trace.py TRACE.json [--require CAT ...]
+    python3 tools/check_trace.py TRACE.json [--require TOKEN ...]
 
 Exit codes: 0 = valid, 1 = violation found, 2 = unreadable input.
 """
@@ -40,6 +43,7 @@ def check(path, required_cats):
         return fail("trace contains no events")
 
     seen_cats = set()
+    seen_name_prefixes = set()
     counts = {}
     for i, ev in enumerate(events):
         where = f"event[{i}]"
@@ -62,6 +66,7 @@ def check(path, required_cats):
         if not isinstance(cat, str) or not cat:
             return fail(f"{where} ({ev['name']}) lacks a category")
         seen_cats.add(cat)
+        seen_name_prefixes.add(ev["name"].split(".", 1)[0])
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, int) or dur < 0:
@@ -70,11 +75,13 @@ def check(path, required_cats):
         if ph == "C" and not isinstance(ev.get("args"), dict):
             return fail(f"{where} ({ev['name']}) 'C' needs args")
 
-    missing = [c for c in required_cats if c not in seen_cats]
+    missing = [c for c in required_cats
+               if c not in seen_cats and c not in seen_name_prefixes]
     if missing:
         return fail(
-            f"required categories absent: {missing} (present: "
-            f"{sorted(seen_cats)})")
+            f"required categories/name-prefixes absent: {missing} "
+            f"(categories: {sorted(seen_cats)}, prefixes: "
+            f"{sorted(seen_name_prefixes)})")
 
     phases = ", ".join(f"{p}:{n}" for p, n in sorted(counts.items()))
     print(f"check_trace: OK: {len(events)} events ({phases}), "
@@ -86,8 +93,9 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("trace", help="Chrome trace-event JSON file")
     ap.add_argument("--require", nargs="*", default=[],
-                    metavar="CAT",
-                    help="categories that must appear (e.g. sim noc hyp)")
+                    metavar="TOKEN",
+                    help="categories or event-name prefixes that must "
+                         "appear (e.g. sim noc hyp dma)")
     args = ap.parse_args()
     sys.exit(check(args.trace, args.require))
 

@@ -20,7 +20,15 @@ from collections import defaultdict
 def summarize_trace(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    events = doc.get("traceEvents", [])
+    # Accept both the object form ({"traceEvents": [...]}) and the
+    # bare-array form of the Chrome trace-event format.
+    events = doc.get("traceEvents", []) if isinstance(doc, dict) else doc
+    if not events:
+        # A trace with --trace but no instrumented activity is legal
+        # (e.g. a harness that never runs the simulator); say so
+        # instead of printing empty tables.
+        print(f"{path}: empty trace (no events recorded)")
+        return
 
     track_names = {}
     cat_count = defaultdict(int)
@@ -32,8 +40,10 @@ def summarize_trace(path):
     for ev in events:
         ph = ev.get("ph")
         if ph == "M":
-            if ev.get("name") == "thread_name":
-                track_names[ev.get("tid")] = ev["args"]["name"]
+            # Metadata may lack args entirely; never KeyError on it.
+            name = ev.get("args", {}).get("name")
+            if ev.get("name") == "thread_name" and name is not None:
+                track_names[ev.get("tid")] = name
             continue
         cat = ev.get("cat", "?")
         cat_count[cat] += 1
