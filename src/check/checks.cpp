@@ -1,0 +1,129 @@
+#include "check/checks.h"
+
+#include <algorithm>
+
+#include "noc/network.h"
+#include "noc/topology.h"
+
+namespace vnpu::check {
+
+CheckCounters&
+counters()
+{
+    static CheckCounters c;
+    return c;
+}
+
+void
+reset_counters()
+{
+    counters() = CheckCounters{};
+}
+
+void
+verify_confined_route(const noc::MeshTopology& topo, const CoreSet& region,
+                      const noc::RouteOverride& route)
+{
+    const int region_size = region.count();
+    for (int dst : region) {
+        for (int cur : region) {
+            if (cur == dst)
+                continue;
+            int at = cur;
+            int steps = 0;
+            while (at != dst) {
+                const int next = route.next_hop(at, dst);
+                if (next == kInvalidCore)
+                    fail(__FILE__, __LINE__,
+                         "confined route has no next hop", "cur=", at,
+                         " dst=", dst);
+                if (!region.test(next))
+                    fail(__FILE__, __LINE__,
+                         "confined route leaves its region", "cur=", at,
+                         " next=", next, " dst=", dst);
+                bool adjacent = false;
+                for (int d = 0; d < 4; ++d) {
+                    if (topo.neighbor(at, static_cast<noc::Direction>(d)) ==
+                        next) {
+                        adjacent = true;
+                        break;
+                    }
+                }
+                if (!adjacent)
+                    fail(__FILE__, __LINE__,
+                         "confined route takes a non-mesh step",
+                         "cur=", at, " next=", next);
+                at = next;
+                if (++steps > region_size)
+                    fail(__FILE__, __LINE__,
+                         "confined route exceeds region diameter",
+                         "cur=", cur, " dst=", dst, " steps=", steps);
+            }
+        }
+    }
+    ++counters().route_tables;
+}
+
+void
+verify_vm_partition(const CoreSet& free_cores,
+                    const std::vector<CoreSet>& vm_regions, int num_nodes)
+{
+    const CoreSet mesh = CoreSet::first_n(num_nodes);
+    CoreSet seen = free_cores;
+    if ((free_cores & ~mesh).any())
+        fail(__FILE__, __LINE__, "free set contains out-of-mesh cores");
+    for (std::size_t i = 0; i < vm_regions.size(); ++i) {
+        const CoreSet& r = vm_regions[i];
+        if (!r.any())
+            fail(__FILE__, __LINE__, "live VM with an empty region",
+                 "index=", i);
+        if ((r & ~mesh).any())
+            fail(__FILE__, __LINE__, "VM region contains out-of-mesh cores",
+                 "index=", i);
+        if ((r & free_cores).any())
+            fail(__FILE__, __LINE__, "VM region overlaps the free set",
+                 "index=", i);
+        for (std::size_t j = i + 1; j < vm_regions.size(); ++j)
+            if ((r & vm_regions[j]).any())
+                fail(__FILE__, __LINE__, "VM regions overlap pairwise",
+                     "index_a=", i, " index_b=", j);
+        seen |= r;
+    }
+    if (!(seen == mesh))
+        fail(__FILE__, __LINE__,
+             "free set plus live regions do not cover the mesh",
+             "covered=", seen.count(), " mesh=", num_nodes);
+    ++counters().vm_partitions;
+}
+
+WormholeRef
+wormhole_reference(Cycles router_delay, Cycles ser_full, Cycles ser_tail,
+                   std::uint64_t npkts, Tick inject_ready,
+                   const std::vector<Tick>& prior_busy)
+{
+    // The seed recurrence (docs/sim_kernel.md):
+    //   T(p, i) = max(T(p, i-1), T(p-1, i)) + R + S_p,  T(p, -1) = I
+    //   T(0, i) = max(T(0, i-1), B_i) + R + S
+    // where T(p, i) is packet p's departure from hop i.
+    const std::size_t hops = prior_busy.size();
+    WormholeRef ref;
+    ref.link_busy.assign(hops, 0);
+    std::vector<Tick> prev(hops, 0); // previous packet's departures
+    for (std::uint64_t p = 0; p < npkts; ++p) {
+        const Cycles ser = (p + 1 == npkts) ? ser_tail : ser_full;
+        Tick t = inject_ready;
+        for (std::size_t i = 0; i < hops; ++i) {
+            const Tick blocked =
+                p == 0 ? std::max(t, prior_busy[i]) : std::max(t, prev[i]);
+            t = blocked + router_delay + ser;
+            prev[i] = t;
+            ref.link_busy[i] = t;
+            if (i == 0)
+                ref.sender_free = t;
+        }
+        ref.delivered = t;
+    }
+    return ref;
+}
+
+} // namespace vnpu::check

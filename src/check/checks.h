@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Invariant verification routines behind the VNPU_SANITIZE option.
+ *
+ * Each function either returns silently or panics (via SimPanic) with
+ * a "sanitize:" message. They are compiled in every build — only the
+ * simulator-internal call sites are gated on VNPU_SANITIZE_ENABLED —
+ * so tests can drive them directly with deliberately broken inputs
+ * (tests/test_invariants.cpp) regardless of build flavor.
+ */
+
+#ifndef VNPU_CHECK_CHECKS_H
+#define VNPU_CHECK_CHECKS_H
+
+#include <vector>
+
+#include "check/check.h"
+#include "sim/types.h"
+
+namespace vnpu::noc {
+class MeshTopology;
+class RouteOverride;
+} // namespace vnpu::noc
+
+namespace vnpu::check {
+
+/**
+ * Confined-route containment (paper §4.1.2, docs/sim_kernel.md): for
+ * every ordered pair (cur, dst) inside `region`, following the
+ * override's next hops from cur must stay strictly inside `region`,
+ * take only mesh-adjacent steps, and terminate at `dst` within
+ * |region| hops (shortest-path tables can never need more). Panics on
+ * the first violation.
+ */
+void verify_confined_route(const noc::MeshTopology& topo,
+                           const CoreSet& region,
+                           const noc::RouteOverride& route);
+
+/**
+ * Live-VM partition invariant: every pair of live VM regions is
+ * disjoint, every region is disjoint from the free set, and the free
+ * set together with the regions covers exactly the first `num_nodes`
+ * cores. Panics on overlap, coverage gap, or out-of-mesh bits.
+ */
+void verify_vm_partition(const CoreSet& free_cores,
+                         const std::vector<CoreSet>& vm_regions,
+                         int num_nodes);
+
+/**
+ * Reference wormhole occupancy: the seed's O(packets x hops) per-packet
+ * recurrence (docs/sim_kernel.md, "Closed-form wormhole occupancy"),
+ * kept as the independent model the closed-form send path is checked
+ * against on every sanitized send.
+ */
+struct WormholeRef {
+    Tick sender_free = 0;                ///< Last packet leaves hop 0.
+    Tick delivered = 0;                  ///< Last packet leaves last hop.
+    std::vector<Tick> link_busy;         ///< Final per-hop occupancy.
+};
+
+/**
+ * Evaluate the reference recurrence for a message of `npkts` packets
+ * (full-packet serialization `ser_full`, tail `ser_tail`) injected at
+ * `inject_ready` over a path whose links currently show
+ * `prior_busy[i]` occupancy, with per-hop router delay `router_delay`.
+ * @pre npkts >= 1 and !prior_busy.empty()
+ */
+WormholeRef wormhole_reference(Cycles router_delay, Cycles ser_full,
+                               Cycles ser_tail, std::uint64_t npkts,
+                               Tick inject_ready,
+                               const std::vector<Tick>& prior_busy);
+
+} // namespace vnpu::check
+
+#endif // VNPU_CHECK_CHECKS_H

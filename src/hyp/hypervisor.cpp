@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "check/checks.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/trace.h"
@@ -43,6 +44,22 @@ round_up(std::uint64_t v, std::uint64_t align)
 {
     return (v + align - 1) / align * align;
 }
+
+#if VNPU_SANITIZE_ENABLED
+/** Sweep the live-VM partition invariant after every create/destroy. */
+void
+audit_partition(
+    const CoreSet& free_cores,
+    const std::map<VmId, std::unique_ptr<virt::VirtualNpu>>& vms,
+    int num_nodes)
+{
+    std::vector<CoreSet> regions;
+    regions.reserve(vms.size());
+    for (const auto& [id, v] : vms)
+        regions.push_back(v->mask());
+    check::verify_vm_partition(free_cores, regions, num_nodes);
+}
+#endif
 
 } // namespace
 
@@ -116,7 +133,11 @@ Hypervisor::confined_routes_for(const CoreSet& region)
     const std::size_t cap = route_cache_cap(topo_.num_nodes());
     // Evict unreferenced tables only until back under the cap, so a
     // churn working set near the cap keeps most of its entries.
-    for (auto victim = route_cache_.begin();
+    // Victim order is the hash-map's: it picks *which* unreferenced
+    // tables are dropped, never affects an admission decision or route
+    // content (only the hit/miss counters on a later re-build).
+    for (auto victim =
+         route_cache_.begin(); // vnpu-lint: allow(unordered-iter)
          victim != route_cache_.end() && route_cache_.size() >= cap;) {
         victim = victim->second.use_count() == 1
                      ? route_cache_.erase(victim)
@@ -124,6 +145,10 @@ Hypervisor::confined_routes_for(const CoreSet& region)
     }
     auto routes = std::make_shared<const noc::RouteOverride>(
         noc::RouteOverride::build_confined(topo_, region));
+    // Every freshly built table is containment-verified before any VM
+    // can route over it (cache hits re-serve already-verified tables).
+    VNPU_SANITIZE_BLOCK(
+        check::verify_confined_route(topo_, region, *routes);)
     route_cache_.emplace(region, routes);
     return routes;
 }
@@ -297,6 +322,8 @@ Hypervisor::create_provision(const VnpuSpec& spec,
     free_ = free_.andnot(mask);
     virt::VirtualNpu& ref = *vnpu;
     vnpus_[vm] = std::move(vnpu);
+    VNPU_SANITIZE_BLOCK(
+        audit_partition(free_, vnpus_, topo_.num_nodes());)
 
     audit.admitted = true;
     audit.setup_cycles = cost;
@@ -381,6 +408,8 @@ Hypervisor::destroy(VmId vm)
     }
     vnpus_.erase(it);
     ++stats_.vnpus_destroyed;
+    VNPU_SANITIZE_BLOCK(
+        audit_partition(free_, vnpus_, topo_.num_nodes());)
     VNPU_TRACE(emit_instant("destroy", "hyp", obs::sim_now(),
                             obs::kTrackHyp, {obs::arg("vm", vm)}));
 }

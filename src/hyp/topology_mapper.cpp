@@ -747,6 +747,8 @@ TopologyMapper::map_similar(const MappingRequest& req, const CoreSet& free,
     // decision is bit-identical to the legacy one-candidate-at-a-time
     // loop (and to any worker count).
     auto score_range = [&](std::size_t lo) -> bool {
+        // vnpu-lint: hot-path (funnel scoring; per-chunk bookkeeping
+        // vectors are the only allowed growth, suppressed per line)
         while (lo < col.masks.size()) {
             const std::size_t hi =
                 std::min(col.masks.size(), lo + kScoreChunk);
@@ -761,6 +763,7 @@ TopologyMapper::map_similar(const MappingRequest& req, const CoreSet& free,
                 const std::size_t i = lo + s;
                 ++res.funnel_candidates;
                 if (!funnel) {
+                    // vnpu-lint: allow-next-line(hot-path-alloc) per-chunk
                     runnable.push_back(static_cast<int>(s));
                     continue;
                 }
@@ -792,6 +795,7 @@ TopologyMapper::map_similar(const MappingRequest& req, const CoreSet& free,
                     ++res.funnel_lb_pruned; // cost >= lb > any later best
                     continue;
                 }
+                // vnpu-lint: allow-next-line(hot-path-alloc) per-chunk
                 runnable.push_back(static_cast<int>(s));
             }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "check/checks.h"
 #include "obs/prof.h"
 #include "obs/trace.h"
 #include "sim/log.h"
@@ -112,6 +113,7 @@ SendResult
 Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
               int tag, const RouteOverride* route, bool credit)
 {
+    // vnpu-lint: hot-path (allocation-free send contract, sim_kernel.md)
     VNPU_PROF("noc.send");
     VNPU_ASSERT(topo_.valid(src) && topo_.valid(dst));
     ++stats_.messages;
@@ -148,6 +150,24 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
     Tick sender_free = start;
     Tick delivered = start;
     int hops = 0;
+
+    // Sanitize builds record the path and its prior occupancy before
+    // the real walk mutates it, then replay the send through the seed's
+    // iterative per-packet recurrence and demand exact agreement. These
+    // buffers exist only under VNPU_SANITIZE (off the perf gates), so
+    // their growth is exempt from the hot-path allocation contract.
+    VNPU_SANITIZE_BLOCK(std::vector<int> san_links;
+                        std::vector<Tick> san_prior;
+                        if (npkts > 0) {
+                            walk_route(src, dst, route,
+                                       [&](int from, int to, int) {
+                                           const int li =
+                                               link_index(from, to);
+                                           san_links.push_back(li);   // vnpu-lint: allow(hot-path-alloc)
+                                           san_prior.push_back(       // vnpu-lint: allow(hot-path-alloc)
+                                               link_busy_[li]);
+                                       });
+                        })
 
     if (cfg_.noc_relay_store_forward) {
         // Each relay node fully receives the message before re-sending
@@ -214,6 +234,36 @@ Network::send(Tick start, int src, int dst, std::uint64_t bytes, VmId vm,
         // (possibly confined) route.
         hops = walk_route(src, dst, route, [](int, int, int) {});
     }
+
+    // Replay against the independent reference model: store-and-forward
+    // is the recurrence with a single whole-message packet, wormhole the
+    // full per-packet recurrence the closed form was derived from.
+    VNPU_SANITIZE_BLOCK(if (npkts > 0 && !san_links.empty()) {
+        const bool relay = cfg_.noc_relay_store_forward;
+        const std::uint64_t ref_npkts = relay ? 1 : npkts;
+        const Cycles ref_tail =
+            relay ? ser_cycles(bytes)
+                  : ser_cycles(bytes - (npkts - 1) * pkt_bytes);
+        const Cycles ref_full = (relay || npkts == 1)
+                                    ? ref_tail
+                                    : ser_cycles(pkt_bytes);
+        const check::WormholeRef ref = check::wormhole_reference(
+            cfg_.router_delay, ref_full, ref_tail, ref_npkts,
+            inject_ready, san_prior);
+        VNPU_INVARIANT(ref.sender_free == sender_free,
+                       "sender_free diverges from reference model ",
+                       "got=", sender_free, " want=", ref.sender_free);
+        VNPU_INVARIANT(ref.delivered == delivered,
+                       "delivery time diverges from reference model ",
+                       "got=", delivered, " want=", ref.delivered);
+        for (std::size_t i = 0; i < san_links.size(); ++i)
+            VNPU_INVARIANT(
+                link_busy_[san_links[i]] == ref.link_busy[i],
+                "per-link occupancy diverges from reference model ",
+                "hop=", i, " got=", link_busy_[san_links[i]],
+                " want=", ref.link_busy[i]);
+        ++check::counters().noc_sends;
+    })
 
     stats_.msg_latency.record(static_cast<double>(delivered - start));
     VNPU_TRACE(emit_complete(

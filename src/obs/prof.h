@@ -177,7 +177,9 @@ class ProfScope {
         site_ = site;
         parent_ = block_->current;
         block_->current = site;
-        t0_ = std::chrono::steady_clock::now();
+        // Host-side wall clock is this subsystem's entire point; it
+        // never feeds back into simulation decisions (file header).
+        t0_ = std::chrono::steady_clock::now(); // vnpu-lint: allow(nondet)
     }
 
     ProfScope(const ProfScope&) = delete;
@@ -187,7 +189,8 @@ class ProfScope {
     {
         if (block_ == nullptr)
             return;
-        const auto dt = std::chrono::steady_clock::now() - t0_;
+        const auto dt =
+            std::chrono::steady_clock::now() - t0_; // vnpu-lint: allow(nondet)
         const std::uint64_t ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
                 .count());
@@ -206,7 +209,7 @@ class ProfScope {
     detail::ProfThreadBlock* block_;
     int site_ = -1;
     int parent_ = -1;
-    std::chrono::steady_clock::time_point t0_;
+    std::chrono::steady_clock::time_point t0_; // vnpu-lint: allow(nondet)
 };
 
 #define VNPU_PROF_CAT2(a, b) a##b

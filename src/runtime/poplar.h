@@ -48,13 +48,13 @@ struct VertexRef {
 
 /** Program step: copy a tensor (host constant or between tiles). */
 struct Copy {
-    Copy(Tensor src, Tensor dst) : src(src), dst(dst) {}
+    Copy(Tensor from, Tensor to) : src(from), dst(to) {}
     Tensor src, dst;
 };
 
 /** Program step: run every vertex of a compute set in parallel. */
 struct Execute {
-    explicit Execute(ComputeSet cs) : cs(cs) {}
+    explicit Execute(ComputeSet set) : cs(set) {}
     ComputeSet cs;
 };
 

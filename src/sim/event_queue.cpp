@@ -6,7 +6,10 @@
 
 namespace vnpu {
 
-EventQueue::EventQueue() : wheel_(kWheelSize) {}
+EventQueue::EventQueue() : wheel_(kWheelSize)
+{
+    VNPU_SANITIZE_BLOCK(san_wheel_seq_.resize(kWheelSize);)
+}
 
 Tick
 EventQueue::next_event_tick() const
@@ -48,6 +51,7 @@ EventQueue::advance_window(Tick when)
         const std::size_t slot = top.when & kWheelMask;
         wheel_[slot].push_back(std::move(top.cb));
         occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+        VNPU_SANITIZE_BLOCK(san_wheel_seq_[slot].push_back(top.seq);)
         overflow_.pop();
     }
 }
@@ -57,6 +61,13 @@ EventQueue::load_batch(Tick when)
 {
     if (when - window_start_ >= kWheelSize)
         advance_window(when);
+    // No-past-scheduling plus FIFO batching means the committed clock
+    // only ever moves strictly forward (tick-0 / same-tick events join
+    // the batch directly and never pass through here).
+    VNPU_INVARIANT(when > now_, "event clock must advance monotonically ",
+                   "when=", when, " now=", now_);
+    VNPU_INVARIANT(batch_pos_ >= batch_.size(),
+                   "loading a tick over an unfinished batch");
     now_ = when;
     const std::size_t slot = when & kWheelMask;
     // Swap rather than move: the drained batch vector's capacity is
@@ -67,6 +78,14 @@ EventQueue::load_batch(Tick when)
     batch_.swap(wheel_[slot]);
     if (wheel_[slot].capacity() > kBucketKeepCapacity)
         std::vector<Callback>().swap(wheel_[slot]);
+    VNPU_SANITIZE_BLOCK({
+        san_batch_seq_.swap(san_wheel_seq_[slot]);
+        if (san_wheel_seq_[slot].capacity() > kBucketKeepCapacity)
+            std::vector<std::uint64_t>().swap(san_wheel_seq_[slot]);
+        VNPU_INVARIANT(san_batch_seq_.size() == batch_.size(),
+                       "seq mirror diverged from the batch");
+        san_tick_started_ = false;
+    })
     batch_pos_ = 0;
     occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
 }
@@ -80,6 +99,7 @@ EventQueue::run(Tick limit)
     if (limit < now_)
         return now_;
     for (;;) {
+        // vnpu-lint: hot-path (event-loop batch execution)
         // Execute the current tick's batch by index: callbacks may
         // append same-tick events, which extend this very batch.
         const std::uint64_t executed_before = executed_;
@@ -89,11 +109,24 @@ EventQueue::run(Tick limit)
                 Callback cb = std::move(batch_[batch_pos_++]);
                 --pending_;
                 ++executed_;
+                VNPU_SANITIZE_BLOCK({
+                    VNPU_INVARIANT(san_batch_seq_.size() == batch_.size(),
+                                   "seq mirror diverged from the batch");
+                    const std::uint64_t seq = san_batch_seq_[batch_pos_ - 1];
+                    VNPU_INVARIANT(!san_tick_started_ || seq > san_last_seq_,
+                                   "FIFO-within-tick order violated ",
+                                   "tick=", now_, " seq=", seq,
+                                   " last=", san_last_seq_);
+                    san_last_seq_ = seq;
+                    san_tick_started_ = true;
+                    ++check::counters().event_queue_events;
+                })
                 cb();
                 maybe_compact_batch();
             }
         }
         batch_.clear();
+        VNPU_SANITIZE_BLOCK(san_batch_seq_.clear();)
         batch_pos_ = 0;
         if (executed_ != executed_before) {
             ++busy_ticks_;
@@ -111,8 +144,14 @@ EventQueue::run(Tick limit)
         }
 
         Tick t = next_event_tick();
-        if (t == kTickMax)
+        if (t == kTickMax) {
+            // Drained: every increment of pending_ must have been
+            // matched by exactly one executed or cleared event.
+            VNPU_INVARIANT(pending_ == 0,
+                           "queue drained with unaccounted pending=",
+                           pending_);
             return now_;
+        }
         if (t > limit) {
             now_ = limit;
             return now_;
@@ -126,6 +165,7 @@ EventQueue::step()
 {
     if (batch_pos_ >= batch_.size()) {
         batch_.clear();
+        VNPU_SANITIZE_BLOCK(san_batch_seq_.clear();)
         batch_pos_ = 0;
         Tick t = next_event_tick();
         if (t == kTickMax)
@@ -135,6 +175,17 @@ EventQueue::step()
     Callback cb = std::move(batch_[batch_pos_++]);
     --pending_;
     ++executed_;
+    VNPU_SANITIZE_BLOCK({
+        VNPU_INVARIANT(san_batch_seq_.size() == batch_.size(),
+                       "seq mirror diverged from the batch");
+        const std::uint64_t seq = san_batch_seq_[batch_pos_ - 1];
+        VNPU_INVARIANT(!san_tick_started_ || seq > san_last_seq_,
+                       "FIFO-within-tick order violated ", "tick=", now_,
+                       " seq=", seq, " last=", san_last_seq_);
+        san_last_seq_ = seq;
+        san_tick_started_ = true;
+        ++check::counters().event_queue_events;
+    })
     cb();
     maybe_compact_batch();
     return true;
@@ -160,6 +211,12 @@ EventQueue::clear()
     while (!overflow_.empty())
         overflow_.pop();
     pending_ = 0;
+    VNPU_SANITIZE_BLOCK({
+        san_batch_seq_.clear();
+        for (auto& bucket : san_wheel_seq_)
+            bucket.clear();
+        san_tick_started_ = false;
+    })
 }
 
 } // namespace vnpu

@@ -26,6 +26,7 @@
 #include <queue>
 #include <vector>
 
+#include "check/check.h"
 #include "sim/callback.h"
 #include "sim/log.h"
 #include "sim/stats.h"
@@ -68,16 +69,29 @@ class EventQueue {
         if (when < now_)
             panic("scheduling event in the past: ", when, " < ", now_);
         ++pending_;
+        // Sanitize builds stamp EVERY event with a scheduling sequence
+        // number (not just overflow entries) so execution can audit
+        // FIFO-within-tick continuously. Overflow heap order is
+        // unchanged: seqs stay monotonic in scheduling order.
+        VNPU_SANITIZE_BLOCK(const std::uint64_t san_seq = next_seq_;)
         if (when == now_) {
             // Same-tick events join the batch currently being executed
             // (or the one the next run()/step() will execute first).
             batch_.push_back(std::move(cb));
+            VNPU_SANITIZE_BLOCK({
+                ++next_seq_;
+                san_batch_seq_.push_back(san_seq);
+            })
             return;
         }
         if (when - window_start_ < kWheelSize) {
             const std::size_t slot = when & kWheelMask;
             wheel_[slot].push_back(std::move(cb));
             occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+            VNPU_SANITIZE_BLOCK({
+                ++next_seq_;
+                san_wheel_seq_[slot].push_back(san_seq);
+            })
             return;
         }
         overflow_.push(OverflowEntry{when, next_seq_++, std::move(cb)});
@@ -152,6 +166,10 @@ class EventQueue {
             batch_.erase(batch_.begin(),
                          batch_.begin() +
                              static_cast<std::ptrdiff_t>(batch_pos_));
+            VNPU_SANITIZE_BLOCK(san_batch_seq_.erase(
+                san_batch_seq_.begin(),
+                san_batch_seq_.begin() +
+                    static_cast<std::ptrdiff_t>(batch_pos_));)
             batch_pos_ = 0;
         }
     }
@@ -177,6 +195,16 @@ class EventQueue {
     std::size_t pending_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t busy_ticks_ = 0;
+
+#if VNPU_SANITIZE_ENABLED
+    /** Per-event scheduling seqs mirroring batch_ / wheel_ / overflow_
+     *  through every load/compact/clear, so run() and step() can audit
+     *  that execution order is exactly scheduling order within a tick. */
+    std::vector<std::uint64_t> san_batch_seq_;
+    std::vector<std::vector<std::uint64_t>> san_wheel_seq_;
+    std::uint64_t san_last_seq_ = 0;   ///< Seq of the last executed event.
+    bool san_tick_started_ = false;    ///< Any event executed at now_?
+#endif
 };
 
 } // namespace vnpu

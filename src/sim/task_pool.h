@@ -129,7 +129,12 @@ class TaskPool {
     static int
     default_threads()
     {
-        if (const char* env = std::getenv("VNPU_TASK_POOL_THREADS"))
+        // Worker count provably cannot change any simulation decision
+        // (sequential index-order reduction; pinned by the funnel
+        // differential tests), so reading it from the environment is
+        // deterministic where it matters.
+        if (const char* env =
+            std::getenv("VNPU_TASK_POOL_THREADS")) // vnpu-lint: allow(nondet)
             return std::max(0, std::min(std::atoi(env), 64));
         int hw = static_cast<int>(std::thread::hardware_concurrency());
         return std::max(0, std::min(hw - 1, 8));

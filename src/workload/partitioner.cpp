@@ -115,19 +115,20 @@ make_pipeline_plan(const Model& m, int num_stages)
         if (hs.slices.size() > 1) {
             // Move the tail slices (about half the FLOPs) to a new stage.
             double half = heavy_cost / 2, run = 0;
-            std::size_t cut = hs.slices.size() - 1;
+            std::size_t split = hs.slices.size() - 1;
             for (std::size_t i = 0; i < hs.slices.size(); ++i) {
                 run += hs.slices[i].fraction *
                        static_cast<double>(
                            m.layers[hs.slices[i].layer].flops(m.batch));
                 if (run >= half) {
-                    cut = std::max<std::size_t>(1, i + 1);
+                    split = std::max<std::size_t>(1, i + 1);
                     break;
                 }
             }
-            cut = std::min(cut, hs.slices.size() - 1);
-            second.slices.assign(hs.slices.begin() + cut, hs.slices.end());
-            hs.slices.resize(cut);
+            split = std::min(split, hs.slices.size() - 1);
+            second.slices.assign(hs.slices.begin() + split,
+                                 hs.slices.end());
+            hs.slices.resize(split);
         } else {
             // Channel split of a single slice.
             StageSlice& sl = hs.slices.front();

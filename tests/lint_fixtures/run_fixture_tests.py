@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Self-test for tools/vnpu_lint.py against the golden fixtures.
+
+Each `bad_<rule>` fixture must trip exactly its own rule (at least one
+finding, no findings from any other rule); each `ok_*` fixture must
+lint clean. The JSON output contract (key shape, counts consistency,
+exit codes) is asserted on the way. Registered as a ctest so a rule
+regression fails tier-1, not just CI.
+
+Stdlib-only, like the linter itself.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "vnpu_lint.py")
+FIXTURE_SRC = os.path.join(HERE, "src")
+
+# fixture file -> the one rule it must trip
+BAD_FIXTURES = {
+    "bad_nondet.cpp": "nondet",
+    "bad_unordered_iter.cpp": "unordered-iter",
+    "bad_hot_path_alloc.cpp": "hot-path-alloc",
+    "bad_stdout_io.cpp": "stdout-io",
+    "bad_ungated_trace.cpp": "ungated-trace",
+    "bad_guard.h": "include-guard",
+    "bad_include_order.cpp": "include-order",
+}
+
+OK_FIXTURES = ["ok_clean.cpp", "ok_guard.h", "ok_suppressed.cpp"]
+
+FINDING_KEYS = {"file", "line", "rule", "message", "snippet"}
+REPORT_KEYS = {"version", "files_scanned", "findings", "counts",
+               "suppressed"}
+
+failures = []
+
+
+def check(cond, what):
+    if cond:
+        print("  ok: %s" % what)
+    else:
+        print("  FAIL: %s" % what)
+        failures.append(what)
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", REPO] + list(args),
+        capture_output=True, text=True, cwd=REPO)
+    return proc
+
+
+def lint_json(path):
+    proc = run_lint("--json", path)
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        report = None
+    return proc.returncode, report
+
+
+def check_report_shape(name, report):
+    check(report is not None, "%s: --json output parses" % name)
+    if report is None:
+        return
+    check(set(report) == REPORT_KEYS,
+          "%s: report keys are %s" % (name, sorted(REPORT_KEYS)))
+    check(isinstance(report["version"], int),
+          "%s: version is an integer" % name)
+    for f in report["findings"]:
+        check(set(f) == FINDING_KEYS,
+              "%s: finding keys are %s" % (name, sorted(FINDING_KEYS)))
+        break  # shape is uniform; one sample per file keeps output short
+    counts = {}
+    for f in report["findings"]:
+        counts[f["rule"]] = counts.get(f["rule"], 0) + 1
+    check(counts == report["counts"],
+          "%s: counts match the findings list" % name)
+
+
+def main():
+    print("== bad fixtures: each trips exactly its rule ==")
+    for name, want_rule in sorted(BAD_FIXTURES.items()):
+        path = os.path.join(FIXTURE_SRC, name)
+        code, report = lint_json(path)
+        print("- %s (expect %s)" % (name, want_rule))
+        check(code == 1, "%s: exit code 1 on findings" % name)
+        check_report_shape(name, report)
+        if report is None:
+            continue
+        rules = {f["rule"] for f in report["findings"]}
+        check(want_rule in rules,
+              "%s: trips '%s'" % (name, want_rule))
+        check(rules <= {want_rule},
+              "%s: trips no other rule (got %s)" % (name, sorted(rules)))
+        check(len(report["findings"]) >= 1,
+              "%s: at least one finding" % name)
+
+    print("== ok fixtures: lint clean ==")
+    for name in OK_FIXTURES:
+        path = os.path.join(FIXTURE_SRC, name)
+        code, report = lint_json(path)
+        print("- %s" % name)
+        check(code == 0, "%s: exit code 0 when clean" % name)
+        check_report_shape(name, report)
+        if report is None:
+            continue
+        check(report["findings"] == [], "%s: zero findings" % name)
+        if name == "ok_suppressed.cpp":
+            check(report["suppressed"] >= 3,
+                  "%s: allow/allow-next-line/allow-file all counted"
+                  % name)
+
+    print("== driver contract ==")
+    proc = run_lint("--list-rules")
+    listed = {line.split()[0] for line in proc.stdout.splitlines()
+              if line.strip()}
+    check(listed == set(BAD_FIXTURES.values()),
+          "--list-rules lists exactly the fixtured rules")
+
+    proc = run_lint("--rules", "no-such-rule", FIXTURE_SRC)
+    check(proc.returncode == 2, "unknown rule name exits 2")
+
+    proc = run_lint(os.path.join(FIXTURE_SRC, "no_such_file.cpp"))
+    check(proc.returncode == 2, "missing input exits 2")
+
+    # Directory walks skip lint_fixtures/, so the deliberately broken
+    # files can never fail a whole-repo lint run.
+    proc = run_lint("--json", os.path.join(REPO, "tests"))
+    report = json.loads(proc.stdout)
+    scanned = {f["file"] for f in report["findings"]}
+    check(not any("lint_fixtures" in f for f in scanned),
+          "tests/ walk reports nothing from lint_fixtures/")
+
+    if failures:
+        print("\n%d check(s) FAILED" % len(failures))
+        return 1
+    print("\nall fixture checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

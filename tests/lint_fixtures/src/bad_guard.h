@@ -1,0 +1,13 @@
+// Fixture: the guard must be VNPU_BAD_GUARD_H (path-derived); this
+// mismatched name must trip `include-guard`.
+
+#ifndef VNPU_SOMETHING_ELSE_H
+#define VNPU_SOMETHING_ELSE_H
+
+inline int
+fixture_value()
+{
+    return 42;
+}
+
+#endif // VNPU_SOMETHING_ELSE_H

@@ -1,0 +1,19 @@
+// Fixture: allocation inside a hot-path region must trip
+// `hot-path-alloc`; the identical calls before the annotation must not.
+
+void
+setup(std::vector<int>& v)
+{
+    v.reserve(64); // outside any region: allowed
+}
+
+void
+hot_loop(std::vector<int>& v)
+{
+    // vnpu-lint: hot-path
+    for (int i = 0; i < 8; ++i) {
+        v.push_back(i);
+        auto p = std::make_unique<int>(i);
+        (void)p;
+    }
+}

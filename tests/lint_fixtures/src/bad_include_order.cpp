@@ -1,0 +1,16 @@
+// Fixture: an unsorted include block and a C-compatibility header must
+// both trip `include-order`.
+
+#include <vector>
+#include <algorithm>
+
+#include <stdint.h>
+
+int
+fixture_sum(const std::vector<int>& v)
+{
+    int total = 0;
+    for (int x : v)
+        total += x;
+    return total;
+}

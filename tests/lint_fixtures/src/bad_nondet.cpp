@@ -1,0 +1,13 @@
+// Fixture: every line below must trip `nondet` (and nothing else).
+// The src/ path component makes the file count as library code.
+
+int
+noisy_seed()
+{
+    int s = std::rand();
+    if (std::getenv("VNPU_FIXTURE") != nullptr)
+        ++s;
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return s;
+}

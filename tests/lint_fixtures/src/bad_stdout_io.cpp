@@ -1,0 +1,8 @@
+// Fixture: stdout writes from library code must trip `stdout-io`.
+
+void
+report(int value)
+{
+    std::cout << "value = " << value << "\n";
+    printf("value = %d\n", value);
+}

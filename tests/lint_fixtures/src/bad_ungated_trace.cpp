@@ -1,0 +1,8 @@
+// Fixture: raw trace emission outside src/obs with neither VNPU_TRACE
+// nor an obs::enabled() guard must trip `ungated-trace`.
+
+void
+emit_raw(int node)
+{
+    obs::emit_instant("event", "fixture", 0, node, {});
+}

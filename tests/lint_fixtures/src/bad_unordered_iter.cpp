@@ -1,0 +1,19 @@
+// Fixture: iterating an unordered container in library code must trip
+// `unordered-iter` (declaration registry + range-for / begin() uses).
+
+std::unordered_map<int, int> table;
+
+int
+sum_all()
+{
+    int total = 0;
+    for (const auto& kv : table)
+        total += kv.second;
+    return total;
+}
+
+auto
+first_entry()
+{
+    return table.begin();
+}

@@ -1,0 +1,42 @@
+// Fixture: idiomatic library code that must produce zero findings —
+// sorted includes, gated trace emission, ordered containers only,
+// allocation-free hot path.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+std::map<int, int> ordered_table;
+
+int
+sum_all()
+{
+    int total = 0;
+    for (const auto& kv : ordered_table)
+        total += kv.second;
+    return total;
+}
+
+void
+traced(int node)
+{
+    VNPU_TRACE(emit_instant("event", "fixture", 0, node, {}));
+}
+
+void
+guarded(int node)
+{
+    if (!obs::enabled())
+        return;
+    obs::emit_instant("event", "fixture", 0, node, {});
+}
+
+int
+hot_loop(const std::vector<int>& v)
+{
+    // vnpu-lint: hot-path
+    int total = 0;
+    for (std::size_t i = 0; i < v.size(); ++i)
+        total += v[i];
+    return total;
+}

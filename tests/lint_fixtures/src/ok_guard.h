@@ -1,0 +1,12 @@
+// Fixture: correctly path-derived include guard; must lint clean.
+
+#ifndef VNPU_OK_GUARD_H
+#define VNPU_OK_GUARD_H
+
+inline int
+fixture_value()
+{
+    return 7;
+}
+
+#endif // VNPU_OK_GUARD_H

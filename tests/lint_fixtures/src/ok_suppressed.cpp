@@ -1,0 +1,24 @@
+// Fixture: every offense below carries a suppression annotation, so
+// the file must lint clean — with a nonzero suppressed count.
+
+// vnpu-lint: allow-file(stdout-io)
+
+void
+report(int value)
+{
+    std::cout << "value = " << value << "\n"; // file-wide allow
+}
+
+int
+seeded()
+{
+    return std::rand(); // vnpu-lint: allow(nondet)
+}
+
+void
+hot_loop(std::vector<int>& v)
+{
+    // vnpu-lint: hot-path
+    // vnpu-lint: allow-next-line(hot-path-alloc)
+    v.push_back(1);
+}

@@ -49,8 +49,9 @@ TEST(CoreSetTest, FirstNAcrossWordBoundaries)
         CoreSet s = CoreSet::first_n(n);
         EXPECT_EQ(s.count(), n) << "n=" << n;
         EXPECT_TRUE(s.test(n - 1));
-        if (n < CoreSet::kCapacity)
+        if (n < CoreSet::kCapacity) {
             EXPECT_FALSE(s.test(n));
+        }
     }
 }
 

@@ -165,10 +165,10 @@ INSTANTIATE_TEST_SUITE_P(
     Meshes, GoldenTraceTest,
     ::testing::Combine(::testing::Values(4, 8, 12, 16),
                        ::testing::Bool()),
-    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
-        return std::to_string(std::get<0>(info.param)) + "x" +
-               std::to_string(std::get<0>(info.param)) +
-               (std::get<1>(info.param) ? "Relay" : "Wormhole");
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& p) {
+        return std::to_string(std::get<0>(p.param)) + "x" +
+               std::to_string(std::get<0>(p.param)) +
+               (std::get<1>(p.param) ? "Relay" : "Wormhole");
     });
 
 TEST(GoldenRouteOverrideTest, DenseTableMatchesSeedMap)

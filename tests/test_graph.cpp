@@ -116,7 +116,7 @@ TEST(GraphTest, RejectsOversizedGraph)
     // 65 nodes (the old u64-mask cap + 1) is now fine; the CoreSet
     // capacity is the only limit.
     EXPECT_NO_THROW(Graph(65));
-    EXPECT_NO_THROW(Graph(kMaxCores));
+    EXPECT_NO_THROW((Graph(kMaxCores)));
     EXPECT_THROW(Graph(kMaxCores + 1), SimFatal);
     EXPECT_THROW(Graph(-1), SimFatal);
 }

@@ -10,8 +10,8 @@
 #include "sim/log.h"
 #include "virt/hw_cost.h"
 #include "virt/routing_table.h"
-#include "virt/virtual_npu.h"
 #include "virt/vchunk.h"
+#include "virt/virtual_npu.h"
 #include "virt/vrouter.h"
 
 namespace vnpu::virt {

@@ -1,0 +1,741 @@
+#!/usr/bin/env python3
+"""vnpu-lint: repo-specific static analysis for the vNPU simulator.
+
+Machine-enforces the determinism contracts that docs/sim_kernel.md and
+docs/observability.md state in prose (see docs/static_analysis.md for
+the rule catalog and the policy around suppressions):
+
+  * no nondeterminism sources in library code (rand, wall clock,
+    unordered-container iteration),
+  * no allocation or I/O inside annotated `// vnpu-lint: hot-path`
+    regions,
+  * no stdout writes from library code (the byte-identity contract),
+  * trace/profile emission only through the gated VNPU_TRACE /
+    VNPU_PROF forms,
+  * include-guard naming and include hygiene.
+
+Stdlib-only by design: the tool must run on a bare CI image and as a
+ctest with no dependencies beyond python3.
+
+Usage:
+    vnpu_lint.py [--json] [--list-rules] [--rules r1,r2] PATH...
+
+Exit codes: 0 = clean, 1 = unsuppressed findings, 2 = usage/IO error.
+
+Annotations (inside C++ comments):
+    // vnpu-lint: allow(rule[, rule...])   suppress on this line
+    // vnpu-lint: allow-next-line(rule[, ...])  suppress on the next line
+    // vnpu-lint: allow-file(rule[, ...])  suppress in the whole file
+    // vnpu-lint: hot-path                 rest of the enclosing braced
+                                           block is a hot-path region
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+LINT_VERSION = 1
+
+# Directories skipped while walking (explicit file arguments are always
+# scanned, which is how the fixture self-tests lint deliberately broken
+# files).
+SKIP_DIR_NAMES = {"lint_fixtures", "build", ".git", "reference"}
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message", "snippet")
+
+    def __init__(self, path, line, rule, message, snippet):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.snippet = snippet
+
+    def as_dict(self):
+        return {
+            "file": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class SourceFile:
+    """A lexed C++ source file: per-line code with comments and
+    string/char literal bodies blanked (so token rules cannot match
+    inside them), the comment text per line (for annotations), and the
+    brace depth at the start of every line (for region tracking).
+
+    This is the "AST-lite" layer: enough structure for region- and
+    scope-aware rules without a real parser.
+    """
+
+    def __init__(self, path, display_path, text):
+        self.path = path
+        self.display_path = display_path
+        self.raw_lines = text.split("\n")
+        self.code_lines = []      # comments/strings blanked
+        self.comment_lines = []   # comment text only, per line
+        self.depth_at_line = []   # brace depth at start of each line
+        self.hot_path_lines = set()
+        self.allow = {}           # line -> set(rule) or {"*"}
+        self.allow_file = set()   # rules suppressed file-wide
+        self._lex(text)
+        self._parse_annotations()
+        self._mark_hot_paths()
+
+    def _lex(self, text):
+        code = []
+        comment = []
+        depth = 0
+        self.depth_at_line.append(0)
+        i = 0
+        n = len(text)
+        state = "code"  # code | line_comment | block_comment | str | chr
+        cur_code = []
+        cur_comment = []
+        while i < n:
+            c = text[i]
+            nxt = text[i + 1] if i + 1 < n else ""
+            if c == "\n":
+                code.append("".join(cur_code))
+                comment.append("".join(cur_comment))
+                cur_code, cur_comment = [], []
+                if state == "line_comment":
+                    state = "code"
+                self.depth_at_line.append(depth)
+                i += 1
+                continue
+            if state == "code":
+                if c == "/" and nxt == "/":
+                    state = "line_comment"
+                    cur_code.append("  ")
+                    i += 2
+                    continue
+                if c == "/" and nxt == "*":
+                    state = "block_comment"
+                    cur_code.append("  ")
+                    i += 2
+                    continue
+                if c == '"':
+                    # Raw strings R"(...)" keep their parens out of the
+                    # code view too; treat them like plain strings with
+                    # the delimiter scan.
+                    if cur_code and cur_code[-1:] == ["R"]:
+                        j = text.find("(", i)
+                        m = re.match(r'R?"([^(\s"]*)\(', text[i - 1 : i + 32])
+                        delim = m.group(1) if m else ""
+                        close = ')' + delim + '"'
+                        end = text.find(close, i + 1)
+                        if end == -1:
+                            end = n - 1
+                        for k in range(i, min(end + len(close), n)):
+                            cur_code.append(" ")
+                            if text[k] == "\n":
+                                code.append("".join(cur_code))
+                                comment.append("".join(cur_comment))
+                                cur_code, cur_comment = [], []
+                                self.depth_at_line.append(depth)
+                        i = end + len(close)
+                        cur_code.append('"')
+                        continue
+                    state = "str"
+                    cur_code.append('"')
+                    i += 1
+                    continue
+                if c == "'":
+                    state = "chr"
+                    cur_code.append("'")
+                    i += 1
+                    continue
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth = max(0, depth - 1)
+                cur_code.append(c)
+                i += 1
+                continue
+            if state in ("line_comment", "block_comment"):
+                if state == "block_comment" and c == "*" and nxt == "/":
+                    state = "code"
+                    i += 2
+                    continue
+                cur_comment.append(c)
+                cur_code.append(" ")
+                i += 1
+                continue
+            # string / char literal
+            if c == "\\":
+                cur_code.append("  ")
+                i += 2
+                continue
+            if (state == "str" and c == '"') or (state == "chr" and c == "'"):
+                state = "code"
+                cur_code.append(c)
+                i += 1
+                continue
+            cur_code.append(" ")
+            i += 1
+        code.append("".join(cur_code))
+        comment.append("".join(cur_comment))
+        self.code_lines = code
+        self.comment_lines = comment
+
+    _ANNOT_RE = re.compile(
+        r"vnpu-lint:\s*(allow-file|allow-next-line|allow|hot-path)"
+        r"(?:\(([^)]*)\))?")
+
+    def _parse_annotations(self):
+        self._hot_path_marks = []
+        for ln, comment in enumerate(self.comment_lines, start=1):
+            if "vnpu-lint" not in comment:
+                continue
+            for m in self._ANNOT_RE.finditer(comment):
+                kind, args = m.group(1), m.group(2)
+                if kind == "hot-path":
+                    self._hot_path_marks.append(ln)
+                    continue
+                rules = {r.strip() for r in (args or "").split(",")
+                         if r.strip()}
+                if not rules:
+                    rules = {"*"}
+                if kind == "allow":
+                    self.allow.setdefault(ln, set()).update(rules)
+                elif kind == "allow-next-line":
+                    self.allow.setdefault(ln + 1, set()).update(rules)
+                else:
+                    self.allow_file.update(rules)
+
+    def _mark_hot_paths(self):
+        """A `hot-path` mark covers the rest of its enclosing braced
+        block: every following line whose start-depth stays >= the depth
+        at the line after the mark."""
+        nlines = len(self.code_lines)
+        for mark in self._hot_path_marks:
+            # Depth just after the mark line (its own braces included).
+            if mark < nlines:
+                region_depth = self.depth_at_line[mark]
+            else:
+                region_depth = self.depth_at_line[-1]
+            if region_depth == 0:
+                continue  # file-scope mark: meaningless, ignore
+            ln = mark + 1
+            while ln <= nlines:
+                if self.depth_at_line[ln - 1] < region_depth:
+                    break
+                self.hot_path_lines.add(ln)
+                ln += 1
+
+    def suppressed(self, line, rule):
+        if rule in self.allow_file or "*" in self.allow_file:
+            return True
+        rules = self.allow.get(line)
+        return rules is not None and (rule in rules or "*" in rules)
+
+    def enclosing_function_start(self, line):
+        """Heuristic start of the function containing `line`: the
+        nearest preceding column-0 `}` (end of the previous function)
+        or identifier at column 0 (this codebase puts function names at
+        column 0, return type on the previous line)."""
+        ln = line - 1
+        start = 1
+        while ln >= 1:
+            code = self.code_lines[ln - 1]
+            if code.startswith("}"):
+                return ln + 1
+            if re.match(r"[A-Za-z_~]", code) and ln < line:
+                start = ln
+                if "(" in code:
+                    return ln
+            ln -= 1
+        return start
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+
+RULES = {}
+
+
+def rule(rule_id, description):
+    def deco(fn):
+        RULES[rule_id] = (description, fn)
+        return fn
+    return deco
+
+
+def is_library(sf):
+    """True for simulator library code: anything under a src/ dir."""
+    parts = sf.display_path.replace("\\", "/").split("/")
+    return "src" in parts
+
+
+def in_obs(sf):
+    parts = sf.display_path.replace("\\", "/").split("/")
+    return "obs" in parts
+
+
+def is_header(sf):
+    return sf.display_path.endswith((".h", ".hpp"))
+
+
+def findings_for_tokens(sf, patterns, rule_id, message_fn, lines=None):
+    out = []
+    line_iter = lines if lines is not None else range(
+        1, len(sf.code_lines) + 1)
+    for ln in line_iter:
+        code = sf.code_lines[ln - 1]
+        for name, pat in patterns:
+            if pat.search(code):
+                out.append(Finding(sf.display_path, ln, rule_id,
+                                   message_fn(name),
+                                   sf.raw_lines[ln - 1].strip()))
+    return out
+
+
+# --- nondet ----------------------------------------------------------------
+
+NONDET_PATTERNS = [
+    # `std::`-qualified calls must still match, so ':' is deliberately
+    # NOT in the lookbehinds; '.'/'>' exclude member calls.
+    ("rand()", re.compile(r"(?<![\w.>])s?rand\s*\(")),
+    ("rand_r()", re.compile(r"(?<![\w.>])rand_r\s*\(")),
+    ("std::random_device", re.compile(r"random_device")),
+    ("wall clock (time())", re.compile(r"(?<![\w.>])time\s*\(")),
+    ("wall clock (clock())", re.compile(r"(?<![\w.>])clock\s*\(")),
+    ("wall clock (gettimeofday)", re.compile(r"gettimeofday")),
+    ("wall clock (system_clock)", re.compile(r"system_clock")),
+    ("wall clock (steady_clock)", re.compile(r"steady_clock")),
+    ("wall clock (high_resolution_clock)",
+     re.compile(r"high_resolution_clock")),
+    ("environment read (getenv)", re.compile(r"(?<![\w.>])getenv\s*\(")),
+]
+
+
+@rule("nondet",
+      "no nondeterminism sources (rand, wall clock, getenv) in library "
+      "code — simulation decisions must be pure functions of their "
+      "inputs (docs/sim_kernel.md)")
+def check_nondet(sf):
+    if not is_library(sf):
+        return []
+    return findings_for_tokens(
+        sf, NONDET_PATTERNS, "nondet",
+        lambda name: "nondeterminism source in library code: %s" % name)
+
+
+# --- unordered-iter --------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(r"unordered_(?:map|set)\s*<")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def collect_unordered_names(sf, registry):
+    """Record identifiers declared with an unordered container type.
+    Handles declarations split across lines (type on one line, name on
+    the next), the dominant style in this codebase."""
+    text = "\n".join(sf.code_lines)
+    for m in UNORDERED_DECL_RE.finditer(text):
+        # Walk the template argument list to its matching '>'.
+        i = m.end() - 1
+        depth = 0
+        n = len(text)
+        while i < n:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        rest = text[i + 1 : i + 200]
+        im = IDENT_RE.search(rest)
+        if im and rest[: im.start()].strip() in ("", "&", "*", "const"):
+            name = im.group(0)
+            if name not in ("const",):
+                registry.add(name)
+
+
+RANGE_FOR_RE = re.compile(r"for\s*\([^;()]*:\s*\*?([A-Za-z_][\w.\->]*)\s*\)")
+BEGIN_ITER_RE = re.compile(r"([A-Za-z_]\w*)\s*\.\s*(?:begin|cbegin)\s*\(")
+
+
+@rule("unordered-iter",
+      "no iteration over unordered containers in library code — "
+      "iteration order is implementation-defined and breaks "
+      "bit-reproducibility (docs/sim_kernel.md)")
+def check_unordered_iter(sf, registry=None):
+    if not is_library(sf) or not registry:
+        return []
+    out = []
+    for ln in range(1, len(sf.code_lines) + 1):
+        code = sf.code_lines[ln - 1]
+        names = set()
+        m = RANGE_FOR_RE.search(code)
+        if m:
+            tail = m.group(1).split(".")[-1].split("->")[-1]
+            names.add(tail)
+        for bm in BEGIN_ITER_RE.finditer(code):
+            names.add(bm.group(1))
+        for name in names:
+            if name in registry:
+                out.append(Finding(
+                    sf.display_path, ln, "unordered-iter",
+                    "iteration over unordered container '%s': order is "
+                    "implementation-defined" % name,
+                    sf.raw_lines[ln - 1].strip()))
+    return out
+
+
+# --- hot-path-alloc --------------------------------------------------------
+
+HOT_PATH_PATTERNS = [
+    ("operator new", re.compile(r"(?<![\w:])new\s+[A-Za-z_(]")),
+    ("operator delete", re.compile(r"(?<![\w:])delete\s")),
+    ("malloc family", re.compile(r"(?<![\w:.])(?:malloc|calloc|realloc|"
+                                 r"free)\s*\(")),
+    ("make_unique/make_shared",
+     re.compile(r"make_(?:unique|shared)\s*<")),
+    ("container growth (push_back/emplace_back)",
+     re.compile(r"\.(?:push_back|emplace_back|emplace)\s*\(")),
+    ("container growth (resize/reserve)",
+     re.compile(r"\.(?:resize|reserve)\s*\(")),
+    ("std::string construction", re.compile(
+        r"(?:std::string\s*\(|std::to_string\s*\(|ostringstream|"
+        r"stringstream)")),
+    ("stream I/O", re.compile(
+        r"(?:std::cout|std::cerr|std::clog|(?<![\w])f?printf\s*\(|"
+        r"fopen\s*\(|[io]?fstream)")),
+]
+
+
+@rule("hot-path-alloc",
+      "no allocation or I/O inside '// vnpu-lint: hot-path' regions "
+      "(Network::send, event-loop batch, funnel scoring)")
+def check_hot_path(sf):
+    if not sf.hot_path_lines:
+        return []
+    return findings_for_tokens(
+        sf, HOT_PATH_PATTERNS, "hot-path-alloc",
+        lambda name: "%s inside a hot-path region" % name,
+        lines=sorted(sf.hot_path_lines))
+
+
+# --- stdout-io -------------------------------------------------------------
+
+STDOUT_PATTERNS = [
+    ("std::cout", re.compile(r"std::cout")),
+    ("printf", re.compile(r"(?<![\w])printf\s*\(")),
+    ("puts", re.compile(r"(?<![\w:.])puts\s*\(")),
+    ("putchar", re.compile(r"(?<![\w:.])putchar\s*\(")),
+    ("stdout", re.compile(r"(?<![\w])stdout(?![\w])")),
+]
+
+
+@rule("stdout-io",
+      "no stdout writes from library code — harness stdout must stay "
+      "byte-identical with observability flags off "
+      "(docs/observability.md)")
+def check_stdout(sf):
+    if not is_library(sf):
+        return []
+    return findings_for_tokens(
+        sf, STDOUT_PATTERNS, "stdout-io",
+        lambda name: "stdout write in library code: %s" % name)
+
+
+# --- ungated-trace ---------------------------------------------------------
+
+TRACE_CALL_RE = re.compile(
+    r"(?<![\w])(?:obs::)?(emit_complete|emit_instant|emit_counter|emit)"
+    r"\s*\(")
+ENABLED_RE = re.compile(r"(?:obs::)?(?:enabled|prof_enabled)\s*\(\s*\)")
+
+
+@rule("ungated-trace",
+      "trace emission outside src/obs must go through VNPU_TRACE or an "
+      "explicit obs::enabled() guard — ungated emission breaks the "
+      "zero-overhead-when-off contract")
+def check_ungated_trace(sf):
+    if not is_library(sf) or in_obs(sf):
+        return []
+    out = []
+    for ln in range(1, len(sf.code_lines) + 1):
+        code = sf.code_lines[ln - 1]
+        m = TRACE_CALL_RE.search(code)
+        if not m:
+            continue
+        if "VNPU_TRACE" in code:
+            continue
+        # Accept an explicit enabled() guard earlier in the same
+        # function (the Network::trace_link_counters pattern).
+        start = sf.enclosing_function_start(ln)
+        guarded = any(
+            ENABLED_RE.search(sf.code_lines[k - 1]) or
+            "VNPU_TRACE" in sf.code_lines[k - 1]
+            for k in range(start, ln))
+        if guarded:
+            continue
+        out.append(Finding(
+            sf.display_path, ln, "ungated-trace",
+            "ungated trace emission '%s': wrap in VNPU_TRACE(...) or "
+            "guard the block with obs::enabled()" % m.group(1),
+            sf.raw_lines[ln - 1].strip()))
+    return out
+
+
+# --- include-guard ---------------------------------------------------------
+
+def expected_guard(display_path):
+    """VNPU_<PATH>_H where PATH is relative to the nearest src/
+    component if any, else to the repo root."""
+    norm = display_path.replace("\\", "/")
+    parts = norm.split("/")
+    if "src" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("src")
+        rel = parts[idx + 1 :]
+    else:
+        rel = [p for p in parts if p not in (".", "")]
+    stem = "/".join(rel)
+    stem = re.sub(r"\.(h|hpp)$", "", stem)
+    return "VNPU_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H"
+
+
+@rule("include-guard",
+      "headers use '#ifndef VNPU_<PATH>_H' include guards matching "
+      "their path (e.g. src/sim/task_pool.h -> VNPU_SIM_TASK_POOL_H)")
+def check_include_guard(sf):
+    if not is_header(sf):
+        return []
+    want = expected_guard(sf.display_path)
+    ifndef_re = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+    define_re = re.compile(r"^\s*#\s*define\s+(\w+)\s*$")
+    guard = None
+    guard_line = None
+    for ln, code in enumerate(sf.code_lines, start=1):
+        m = ifndef_re.match(code)
+        if m:
+            guard = m.group(1)
+            guard_line = ln
+            break
+        if code.strip() and not code.lstrip().startswith("#"):
+            break
+    if guard is None:
+        return [Finding(sf.display_path, 1, "include-guard",
+                        "missing include guard (expected %s)" % want, "")]
+    out = []
+    if guard != want:
+        out.append(Finding(
+            sf.display_path, guard_line, "include-guard",
+            "include guard '%s' does not match path (expected %s)"
+            % (guard, want),
+            sf.raw_lines[guard_line - 1].strip()))
+        return out
+    next_ln = guard_line + 1
+    if next_ln > len(sf.code_lines) or not re.match(
+            define_re, sf.code_lines[next_ln - 1]) or \
+            define_re.match(sf.code_lines[next_ln - 1]).group(1) != want:
+        out.append(Finding(
+            sf.display_path, next_ln, "include-guard",
+            "'#define %s' must immediately follow the #ifndef" % want,
+            sf.raw_lines[min(next_ln, len(sf.raw_lines)) - 1].strip()))
+    return out
+
+
+# --- include-order ---------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^">]+)[">]')
+
+C_COMPAT_HEADERS = {
+    "assert.h", "ctype.h", "errno.h", "float.h", "inttypes.h",
+    "limits.h", "locale.h", "math.h", "setjmp.h", "signal.h",
+    "stdarg.h", "stddef.h", "stdint.h", "stdio.h", "stdlib.h",
+    "string.h", "time.h", "uchar.h", "wchar.h", "wctype.h",
+}
+
+
+@rule("include-order",
+      "project includes use quotes and system includes angle brackets; "
+      "includes are sorted within each contiguous block; C++ code uses "
+      "<cstdint>-style headers, not <stdint.h>")
+def check_include_order(sf):
+    out = []
+    blocks = []  # list of (style, [(line, path)])
+    cur = None
+    # Includes are parsed from the raw lines: the lexer blanks string
+    # literal bodies, which is exactly where a quoted include path is.
+    for ln, raw in enumerate(sf.raw_lines, start=1):
+        m = INCLUDE_RE.match(raw)
+        if not m:
+            # Any interleaved line — blank lines included — ends the
+            # current block: the codebase's convention groups includes
+            # (own header / system / project) with blank separators and
+            # sorts within each group only.
+            cur = None
+            continue
+        style, inc = m.group(1), m.group(2)
+        if style == "<" and inc in C_COMPAT_HEADERS:
+            out.append(Finding(
+                sf.display_path, ln, "include-order",
+                "C compatibility header <%s>: use <c%s> instead"
+                % (inc, inc[:-2]),
+                sf.raw_lines[ln - 1].strip()))
+        if style == '"' and ("/" not in inc and not
+                             os.path.exists(os.path.join(
+                                 os.path.dirname(sf.path), inc))):
+            # Quoted include that is neither a project path (dir/file.h)
+            # nor a sibling file: likely a system header in quotes.
+            out.append(Finding(
+                sf.display_path, ln, "include-order",
+                '"%s" looks like a system header: use <...>' % inc,
+                sf.raw_lines[ln - 1].strip()))
+        if cur is None or cur[0] != style:
+            cur = (style, [])
+            blocks.append(cur)
+        cur[1].append((ln, inc))
+    for style, entries in blocks:
+        paths = [p for _, p in entries]
+        if paths != sorted(paths):
+            ln = entries[0][0]
+            out.append(Finding(
+                sf.display_path, ln, "include-order",
+                "include block starting here is not sorted "
+                "alphabetically", sf.raw_lines[ln - 1].strip()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def iter_files(paths):
+    seen = set()
+    for p in paths:
+        if os.path.isfile(p):
+            rp = os.path.realpath(p)
+            if rp not in seen:
+                seen.add(rp)
+                yield p
+            continue
+        if not os.path.isdir(p):
+            raise FileNotFoundError(p)
+        for root, dirs, files in os.walk(p):
+            dirs[:] = sorted(d for d in dirs if d not in SKIP_DIR_NAMES)
+            for f in sorted(files):
+                if f.endswith(CXX_EXTENSIONS):
+                    fp = os.path.join(root, f)
+                    rp = os.path.realpath(fp)
+                    if rp not in seen:
+                        seen.add(rp)
+                        yield fp
+
+
+def lint_files(file_paths, enabled_rules, repo_root=None):
+    sources = []
+    unordered_registry = set()
+    for path in file_paths:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            raise OSError("cannot read %s: %s" % (path, e))
+        display = path
+        if repo_root:
+            try:
+                display = os.path.relpath(path, repo_root)
+            except ValueError:
+                pass
+        sf = SourceFile(path, display, text)
+        sources.append(sf)
+        collect_unordered_names(sf, unordered_registry)
+
+    findings = []
+    suppressed = 0
+    for sf in sources:
+        for rule_id, (_desc, fn) in sorted(RULES.items()):
+            if rule_id not in enabled_rules:
+                continue
+            if rule_id == "unordered-iter":
+                raw = fn(sf, registry=unordered_registry)
+            else:
+                raw = fn(sf)
+            for f in raw:
+                if sf.suppressed(f.line, f.rule):
+                    suppressed += 1
+                else:
+                    findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, suppressed, len(sources)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="vnpu_lint",
+        description="repo-specific determinism-contract linter")
+    ap.add_argument("paths", nargs="*", help="files or directories")
+    ap.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--rules",
+                    help="comma-separated subset of rules to run")
+    ap.add_argument("--root", default=None,
+                    help="repo root for display paths (default: cwd)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print("%-16s %s" % (rule_id, RULES[rule_id][0]))
+        return 0
+
+    if not args.paths:
+        ap.print_usage(sys.stderr)
+        return 2
+
+    enabled = set(RULES)
+    if args.rules:
+        enabled = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = enabled - set(RULES)
+        if unknown:
+            print("vnpu_lint: unknown rule(s): %s" % ", ".join(
+                sorted(unknown)), file=sys.stderr)
+            return 2
+
+    root = args.root or os.getcwd()
+    try:
+        files = list(iter_files(args.paths))
+        findings, suppressed, nfiles = lint_files(files, enabled, root)
+    except (OSError, FileNotFoundError) as e:
+        print("vnpu_lint: %s" % e, file=sys.stderr)
+        return 2
+
+    if args.json:
+        counts = {}
+        for f in findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        json.dump({
+            "version": LINT_VERSION,
+            "files_scanned": nfiles,
+            "findings": [f.as_dict() for f in findings],
+            "counts": counts,
+            "suppressed": suppressed,
+        }, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for f in findings:
+            print("%s:%d: [%s] %s" % (f.path, f.line, f.rule, f.message))
+            if f.snippet:
+                print("    %s" % f.snippet)
+        print("vnpu_lint: %d file(s), %d finding(s), %d suppressed"
+              % (nfiles, len(findings), suppressed))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
