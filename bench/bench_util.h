@@ -286,12 +286,19 @@ class JsonReport {
             for (const auto& [key, value] : cases_[i].fields) {
                 // inf/nan are not JSON tokens; emit null so a single
                 // degenerate ratio cannot break the whole artifact.
-                if (std::isfinite(value))
-                    std::fprintf(f, ", \"%s\": %.6g",
-                                 json_escape(key).c_str(), value);
-                else
+                // Integral values print every digit: fleet decision
+                // hashes are 48-bit integers CI diffs bit-for-bit, and
+                // %.6g would silently round them.
+                if (!std::isfinite(value))
                     std::fprintf(f, ", \"%s\": null",
                                  json_escape(key).c_str());
+                else if (value == std::floor(value) &&
+                         std::fabs(value) < 9.007199254740992e15)
+                    std::fprintf(f, ", \"%s\": %.0f",
+                                 json_escape(key).c_str(), value);
+                else
+                    std::fprintf(f, ", \"%s\": %.6g",
+                                 json_escape(key).c_str(), value);
             }
             std::fprintf(f, "}%s\n",
                          i + 1 < cases_.size() ? "," : "");

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Fleet-scale serving sweep: N 1024-core devices under an open-loop
+ * Poisson arrival stream drawn from the model-zoo tenant mix
+ * (docs/fleet.md). For each placement policy and offered load, 10k
+ * arrivals run through the online scheduler and the harness reports
+ * the utilization-vs-p99 admission-latency frontier, plus a defrag
+ * on/off comparison at the highest load showing how migration-based
+ * defragmentation cuts the blocked-request rate.
+ *
+ * Every column in BENCH_fleet.json is simulation-deterministic —
+ * decision hashes included, wall clock excluded (stderr only) — so CI
+ * can diff the artifact bit-for-bit across TaskPool worker counts.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fleet/scheduler.h"
+#include "sim/config.h"
+
+using namespace vnpu;
+using fleet::FleetConfig;
+using fleet::FleetSimulator;
+using fleet::PlacementPolicy;
+
+namespace {
+
+SocConfig
+device_cfg()
+{
+    SocConfig c = SocConfig::Sim();
+    c.mesh_x = 32;
+    c.mesh_y = 32;
+    c.hbm_channels = 32;
+    // Confined-route tables grow with region^2: the 256-core gpt2-l
+    // rectangle needs ~128 KiB of meta tables, far past the 16 KiB
+    // default sized for FPGA-scale chips (docs/fleet.md).
+    c.meta_zone_bytes = 256 * 1024;
+    return c;
+}
+
+FleetConfig
+base_cfg(PlacementPolicy policy, Tick mean_gap, bool defrag)
+{
+    FleetConfig cfg;
+    cfg.num_devices = 4;
+    cfg.device = device_cfg();
+    cfg.seed = 42;
+    cfg.policy = policy;
+    cfg.arrival.model = fleet::ArrivalModel::kPoisson;
+    cfg.arrival.mean_gap = mean_gap;
+    cfg.max_arrivals = 10'000;
+    cfg.defrag = defrag;
+    return cfg;
+}
+
+struct RunResult {
+    double util_mean = 0.0;
+    double util_peak = 0.0;
+    double p50_wait = 0.0;
+    double p99_wait = 0.0;
+    double blocked_pct = 0.0;
+    std::uint64_t migrations = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t hash48 = 0;
+};
+
+RunResult
+run_fleet(const FleetConfig& cfg)
+{
+    const auto wall0 = std::chrono::steady_clock::now();
+    FleetSimulator sim(cfg);
+    sim.run();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+    std::fprintf(stderr,
+                 "[fleet %s gap=%llu defrag=%d: %.0f ms wall]\n",
+                 to_string(cfg.policy),
+                 static_cast<unsigned long long>(cfg.arrival.mean_gap),
+                 cfg.defrag ? 1 : 0, wall_ms);
+
+    const fleet::FleetStats& st = sim.stats();
+    RunResult r;
+    r.util_mean = sim.utilization_mean();
+    r.util_peak = sim.utilization_peak();
+    r.p50_wait = st.admission_wait.quantile(0.5);
+    r.p99_wait = st.admission_wait.quantile(0.99);
+    const double arrivals =
+        static_cast<double>(st.arrivals.value());
+    r.blocked_pct =
+        arrivals > 0
+            ? 100.0 * static_cast<double>(st.rejected.value()) / arrivals
+            : 0.0;
+    r.migrations = st.migrations.value();
+    r.preemptions = st.preemptions.value();
+    r.hash48 = sim.decision_hash48();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::TraceSession trace_session(argc, argv);
+    bench::MetricsSession metrics_session(argc, argv);
+    bench::ProfileSession profile_session(argc, argv);
+    bench::banner("Fleet sweep",
+                  "Open-loop serving on 4x 1024-core devices: placement "
+                  "policy frontier + migration/defrag payoff");
+    bench::JsonReport report("fleet");
+
+    // Offered load ~= E[cores x lifetime] / (mean_gap x fleet cores):
+    // the default mix demands ~6.1M core-ticks per arrival, so on 4096
+    // cores gap 3000 is ~0.5, 2000 is ~0.75, 1500 is ~1.0 (saturation).
+    const std::vector<Tick> gaps{3000, 2000, 1500};
+    const std::vector<PlacementPolicy> policies{
+        PlacementPolicy::kFirstFit, PlacementPolicy::kBestFitTed,
+        PlacementPolicy::kLoadBalanced};
+
+    std::printf("\nutilization vs p99 admission latency, 10k arrivals, "
+                "defrag on\n");
+    bench::Table frontier(report, "frontier",
+                          {"policy/gap", "util mean", "util peak",
+                           "p50 wait", "p99 wait", "blocked %",
+                           "migrations", "hash48"},
+                          18);
+    for (PlacementPolicy policy : policies) {
+        for (Tick gap : gaps) {
+            const RunResult r = run_fleet(base_cfg(policy, gap, true));
+            frontier.row({std::string(to_string(policy)) + "/" +
+                              std::to_string(gap),
+                          bench::fmt(r.util_mean, 3),
+                          bench::fmt(r.util_peak, 3),
+                          bench::fmt(r.p50_wait, 0),
+                          bench::fmt(r.p99_wait, 0),
+                          bench::fmt(r.blocked_pct, 2),
+                          bench::fmt_u(r.migrations),
+                          bench::fmt_u(r.hash48)});
+        }
+    }
+
+    // Defrag pays where fragmentation (not raw capacity) blocks the
+    // head: at gap 2000 (~0.75 offered load) migrations carve exact
+    // regions for large tenants that would otherwise time out. At full
+    // saturation every core is spoken for and defrag can only shuffle,
+    // so the payoff table runs at the fragmentation-bound point.
+    std::printf("\ndefrag payoff under fragmentation (first-fit, "
+                "gap 2000)\n");
+    bench::Table defrag(report, "defrag",
+                        {"defrag", "util mean", "p99 wait", "blocked %",
+                         "migrations", "preempt", "hash48"},
+                        18);
+    double blocked_off = 0.0, blocked_on = 0.0;
+    for (bool on : {false, true}) {
+        const RunResult r = run_fleet(
+            base_cfg(PlacementPolicy::kFirstFit, 2000, on));
+        (on ? blocked_on : blocked_off) = r.blocked_pct;
+        defrag.row({on ? "on" : "off", bench::fmt(r.util_mean, 3),
+                    bench::fmt(r.p99_wait, 0),
+                    bench::fmt(r.blocked_pct, 2),
+                    bench::fmt_u(r.migrations),
+                    bench::fmt_u(r.preemptions),
+                    bench::fmt_u(r.hash48)});
+    }
+
+    std::printf("\nfirst-fit packs tight (higher util, worse tail); "
+                "load-balanced trades utilization for latency; defrag "
+                "cuts the blocked rate from %.2f%% to %.2f%% by "
+                "migrating small tenants out of the way.\n",
+                blocked_off, blocked_on);
+    report.write();
+    return 0;
+}

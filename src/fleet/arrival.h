@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Open-loop arrival processes for fleet-scale serving simulation.
+ *
+ * A serving frontend does not wait for the rack to drain before the
+ * next tenant shows up: requests arrive on their own clock (open loop)
+ * and queue when the fleet is full. This module generates that stream:
+ * Poisson arrivals, a two-state bursty variant (Markov-modulated
+ * Poisson), or replay of an explicit arrival-tick trace, with the
+ * tenant mix drawn from the model zoo (src/workload/model_zoo.h).
+ *
+ * Determinism: every draw comes from one explicitly seeded Rng
+ * substream owned by the process; the sequence of requests is a pure
+ * function of (config, seed).
+ */
+
+#ifndef VNPU_FLEET_ARRIVAL_H
+#define VNPU_FLEET_ARRIVAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace vnpu::fleet {
+
+/**
+ * One tenant class of the serving mix: a model-zoo workload mapped to
+ * the rectangular vNPU shape it is served on, with an arrival weight
+ * and a mean service lifetime. Shapes are rectangles (width x height)
+ * because production serving carves accelerator meshes into tiles; the
+ * topology mapper's sliding-rectangle fast path admits them in
+ * microseconds, and fragmentation pressure comes from the size spread.
+ */
+struct TenantClass {
+    const char* model;   ///< Model-zoo short name (validated at build).
+    int width = 1;       ///< Requested mesh width.
+    int height = 1;      ///< Requested mesh height.
+    double weight = 1.0; ///< Relative arrival probability.
+    Tick mean_lifetime = 0; ///< Mean service duration (exponential).
+};
+
+/**
+ * The default serving mix: mostly small CNN tenants, a tail of large
+ * transformer tenants whose 128/256-core rectangles are the requests
+ * that fragmentation blocks first (docs/fleet.md).
+ */
+const std::vector<TenantClass>& default_tenant_mix();
+
+/** How arrival instants are generated. */
+enum class ArrivalModel : std::uint8_t {
+    kPoisson, ///< Exponential inter-arrival gaps.
+    kBursty,  ///< Two-state MMPP: calm gaps / burst_factor inside bursts.
+    kTrace,   ///< Replay explicit arrival ticks (tests, recorded loads).
+};
+
+const char* to_string(ArrivalModel m);
+
+/** Arrival-process parameters. */
+struct ArrivalConfig {
+    ArrivalModel model = ArrivalModel::kPoisson;
+    /** Mean inter-arrival gap in ticks (calm-state mean for kBursty). */
+    Tick mean_gap = 100;
+    /** kBursty: gaps shrink by this factor inside a burst. */
+    double burst_factor = 8.0;
+    /** kBursty: per-arrival probability of entering a burst. */
+    double burst_enter = 0.05;
+    /** kBursty: per-arrival probability of leaving a burst. */
+    double burst_exit = 0.2;
+    /** kTrace: arrival ticks, non-decreasing; the tenant mix is still
+     *  drawn per arrival from the rng substream. */
+    std::vector<Tick> trace;
+};
+
+/** One serving request emitted by the arrival process. */
+struct FleetRequest {
+    std::uint64_t id = 0;  ///< Monotonic arrival number.
+    Tick arrival = 0;      ///< Arrival instant (open loop).
+    int width = 1;         ///< Requested mesh width.
+    int height = 1;        ///< Requested mesh height.
+    Tick lifetime = 0;     ///< Service duration once admitted.
+    int tenant_class = 0;  ///< Index into the mix.
+
+    int cores() const { return width * height; }
+};
+
+/**
+ * Open-loop request generator. `next()` returns requests with
+ * non-decreasing arrival ticks; the process never looks at fleet
+ * state, which is what makes the load open-loop.
+ */
+class ArrivalProcess {
+  public:
+    /**
+     * @param seed Master fleet seed; the process draws from its own
+     *        substream so arrival randomness is decoupled from every
+     *        device's decision stream (see Rng::substream).
+     * @throws SimFatal when the mix is empty, names an unknown
+     *         model-zoo entry, or a kTrace config has a decreasing
+     *         trace.
+     */
+    ArrivalProcess(const ArrivalConfig& cfg, std::uint64_t seed,
+                   std::vector<TenantClass> mix = default_tenant_mix());
+
+    /** Generate the next arrival. @pre !exhausted() */
+    FleetRequest next();
+
+    /** kTrace only: true once the trace is fully replayed. */
+    bool exhausted() const;
+
+    std::uint64_t generated() const { return next_id_; }
+    const std::vector<TenantClass>& mix() const { return mix_; }
+
+  private:
+    Tick next_gap();
+
+    ArrivalConfig cfg_;
+    std::vector<TenantClass> mix_;
+    std::vector<double> cum_weight_;
+    Rng rng_;
+    Tick now_ = 0;
+    std::uint64_t next_id_ = 0;
+    bool burst_ = false;
+    std::size_t trace_pos_ = 0;
+};
+
+} // namespace vnpu::fleet
+
+#endif // VNPU_FLEET_ARRIVAL_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * One simulated device of a serving fleet: a mesh topology, an NPU
+ * controller and a hypervisor, plus a private Rng substream.
+ *
+ * A fleet device is deliberately lighter than runtime::Machine — the
+ * fleet layer schedules admissions, migrations and departures over
+ * simulated time, it does not execute programs on the cores — so N
+ * 1024-core devices cost N hypervisors, not N event queues full of
+ * core/DMA models.
+ *
+ * Determinism contract: every stochastic choice a device makes (today:
+ * the admission service-time jitter) comes from its own substream
+ * `Rng::substream(fleet_seed, device_id)`. Seeding N devices from one
+ * shared stream would make any one device's decision sequence depend
+ * on the fleet size and event interleaving; the substream derivation
+ * keeps it invariant (FleetTest.DeviceStreamInvariantToFleetSize).
+ */
+
+#ifndef VNPU_FLEET_DEVICE_H
+#define VNPU_FLEET_DEVICE_H
+
+#include <string>
+
+#include "core/controller.h"
+#include "hyp/hypervisor.h"
+#include "noc/topology.h"
+#include "sim/config.h"
+#include "sim/rng.h"
+
+namespace vnpu::fleet {
+
+/** One NPU chip of the fleet, managed by its own hypervisor. */
+class FleetDevice {
+  public:
+    /**
+     * @param id Fleet-wide device index (also the Rng substream id).
+     * @param cfg Per-device SoC configuration (copied; the device owns
+     *        the storage its hypervisor references).
+     * @param fleet_seed Master seed shared by the whole fleet.
+     */
+    FleetDevice(int id, const SocConfig& cfg, std::uint64_t fleet_seed)
+        : id_(id), cfg_(cfg), topo_(cfg_.mesh_x, cfg_.mesh_y),
+          ctrl_(cfg_, topo_), hv_(cfg_, topo_, ctrl_),
+          rng_(Rng::substream(fleet_seed, static_cast<std::uint64_t>(id)))
+    {
+        hv_.set_stats_prefix("fleet.dev" + std::to_string(id) + ".hyp.");
+    }
+
+    FleetDevice(const FleetDevice&) = delete;
+    FleetDevice& operator=(const FleetDevice&) = delete;
+
+    int id() const { return id_; }
+    const SocConfig& config() const { return cfg_; }
+    const noc::MeshTopology& topology() const { return topo_; }
+    hyp::Hypervisor& hypervisor() { return hv_; }
+    const hyp::Hypervisor& hypervisor() const { return hv_; }
+
+    int num_cores() const { return topo_.num_nodes(); }
+    int free_cores() const { return hv_.num_free_cores(); }
+    double utilization() const { return hv_.core_utilization(); }
+
+    /** Device-private decision stream (admission jitter). */
+    Rng& rng() { return rng_; }
+
+  private:
+    int id_;
+    SocConfig cfg_; // owned: hypervisor/controller keep references
+    noc::MeshTopology topo_;
+    core::NpuController ctrl_;
+    hyp::Hypervisor hv_;
+    Rng rng_;
+};
+
+} // namespace vnpu::fleet
+
+#endif // VNPU_FLEET_DEVICE_H

@@ -1,0 +1,884 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/log.h"
+
+namespace vnpu::fleet {
+
+namespace {
+
+/** FNV-1a fold of raw bytes (decision fingerprinting). */
+std::uint64_t
+fnv1a(std::uint64_t h, const void* data, std::size_t n)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a_u64(std::uint64_t h, std::uint64_t v)
+{
+    return fnv1a(h, &v, sizeof v);
+}
+
+/**
+ * Size of the largest 4-connected component of `free` on a W x H mesh.
+ * kSimilarTopology only admits connected regions, so a device whose
+ * largest free component is smaller than the request can never place
+ * it — and asking the funnel anyway is the pathological case: its
+ * enumerator exhausts an exponential partial-subset tree before
+ * concluding that no connected k-subset exists.
+ */
+int
+largest_free_component(const CoreSet& free, int mesh_w, int mesh_h)
+{
+    CoreSet seen;
+    int best = 0;
+    std::vector<int> stack;
+    for (int id = 0; id < mesh_w * mesh_h; ++id) {
+        if (!free.test(id) || seen.test(id))
+            continue;
+        stack.assign(1, id);
+        seen.set(id);
+        int size = 0;
+        while (!stack.empty()) {
+            const int c = stack.back();
+            stack.pop_back();
+            ++size;
+            const int x = c % mesh_w;
+            const int y = c / mesh_w;
+            const int nb[4][2] = {
+                {x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}};
+            for (const auto& n : nb) {
+                if (n[0] < 0 || n[0] >= mesh_w || n[1] < 0 ||
+                    n[1] >= mesh_h)
+                    continue;
+                const int nid = n[1] * mesh_w + n[0];
+                if (free.test(nid) && !seen.test(nid)) {
+                    seen.set(nid);
+                    stack.push_back(nid);
+                }
+            }
+        }
+        best = std::max(best, size);
+    }
+    return best;
+}
+
+} // namespace
+
+const char*
+to_string(PlacementPolicy p)
+{
+    switch (p) {
+      case PlacementPolicy::kFirstFit: return "first-fit";
+      case PlacementPolicy::kBestFitTed: return "best-fit-ted";
+      case PlacementPolicy::kLoadBalanced: return "load-balanced";
+    }
+    return "?";
+}
+
+FleetSimulator::FleetSimulator(const FleetConfig& cfg)
+    : cfg_(cfg), arrivals_(cfg.arrival, cfg.seed, cfg.mix)
+{
+    if (cfg_.num_devices <= 0)
+        fatal("fleet needs at least one device");
+    if (cfg_.max_defrag_victims < 1)
+        fatal("max_defrag_victims must be >= 1");
+    if (cfg_.migration_bytes_per_tick <= 0.0)
+        fatal("migration_bytes_per_tick must be positive");
+    for (const TenantClass& c : arrivals_.mix()) {
+        if (c.width > cfg_.device.mesh_x || c.height > cfg_.device.mesh_y)
+            fatal("tenant class '", c.model, "' (", c.width, "x", c.height,
+                  ") does not fit a ", cfg_.device.mesh_x, "x",
+                  cfg_.device.mesh_y, " device");
+    }
+    devices_.reserve(static_cast<std::size_t>(cfg_.num_devices));
+    for (int i = 0; i < cfg_.num_devices; ++i) {
+        devices_.push_back(
+            std::make_unique<FleetDevice>(i, cfg_.device, cfg_.seed));
+        total_cores_ += devices_.back()->num_cores();
+    }
+    jitter_log_.resize(devices_.size());
+    if (cfg_.max_arrivals > 0 && !arrivals_.exhausted())
+        next_arrival_ = arrivals_.next();
+
+    // Ride an installed metrics sampler: the fleet is the "machine"
+    // (it owns simulated time); the device hypervisors registered
+    // themselves as extra collectors under their fleet.devN prefixes.
+    if (auto* m = obs::metrics()) {
+        m->attach_machine(
+            this, [this](StatSet& out) { collect_stats(out); },
+            [](std::vector<obs::LinkRecord>&) {},
+            [this] { return stats_.admission_wait; });
+    }
+}
+
+FleetSimulator::~FleetSimulator()
+{
+    if (auto* m = obs::metrics())
+        m->detach_machine(this, now_);
+}
+
+// ---- Time integrals ------------------------------------------------------
+
+void
+FleetSimulator::advance_integrals(Tick t)
+{
+    if (t <= last_integral_t_)
+        return;
+    const double dt = static_cast<double>(t - last_integral_t_);
+    used_core_ticks_ += dt * used_cores_;
+    queue_depth_ticks_ += dt * static_cast<double>(pending_.size());
+    last_integral_t_ = t;
+}
+
+void
+FleetSimulator::note_used_delta(Tick t, int delta_cores)
+{
+    advance_integrals(t);
+    used_cores_ += delta_cores;
+    used_peak_ = std::max(used_peak_, used_cores_);
+}
+
+void
+FleetSimulator::note_queue_delta(Tick t, int delta)
+{
+    advance_integrals(t);
+    if (delta > 0)
+        queue_peak_ = std::max(
+            queue_peak_, pending_.size() + static_cast<std::size_t>(delta));
+}
+
+// ---- Request plumbing ----------------------------------------------------
+
+hyp::MappingRequest
+FleetSimulator::mapping_request(int width, int height,
+                                hyp::MappingStrategy s) const
+{
+    hyp::MappingRequest req;
+    req.vtopo = graph::Graph::mesh(width, height);
+    req.strategy = s;
+    // Mirrors Hypervisor::create: fragmented and straightforward
+    // placements cannot be route-confined, so they drop the
+    // connectivity requirement.
+    req.require_connected = s == hyp::MappingStrategy::kExact ||
+                            s == hyp::MappingStrategy::kSimilarTopology;
+    req.max_candidates = cfg_.similar_max_candidates;
+    req.exact_search_budget = cfg_.exact_search_budget;
+    return req;
+}
+
+hyp::VnpuSpec
+FleetSimulator::vnpu_spec(int width, int height,
+                          hyp::MappingStrategy s) const
+{
+    hyp::VnpuSpec spec;
+    spec.topo = graph::Graph::mesh(width, height);
+    spec.strategy = s;
+    spec.noc_isolation = s == hyp::MappingStrategy::kExact ||
+                         s == hyp::MappingStrategy::kSimilarTopology;
+    spec.max_candidates = cfg_.similar_max_candidates;
+    spec.exact_search_budget = cfg_.exact_search_budget;
+    return spec;
+}
+
+bool
+FleetSimulator::has_free_rect(const CoreSet& free, int w, int h) const
+{
+    const int mesh_w = cfg_.device.mesh_x;
+    const int mesh_h = cfg_.device.mesh_y;
+    const auto scan = [&](int rw, int rh) {
+        if (rw > mesh_w || rh > mesh_h)
+            return false;
+        for (int y = 0; y + rh <= mesh_h; ++y)
+            for (int x = 0; x + rw <= mesh_w; ++x) {
+                bool ok = true;
+                for (int r = 0; r < rh && ok; ++r)
+                    ok = free.test_range((y + r) * mesh_w + x, rw);
+                if (ok)
+                    return true;
+            }
+        return false;
+    };
+    return scan(w, h) || (w != h && scan(h, w));
+}
+
+bool
+FleetSimulator::exact_feasible(const CoreSet& free, int w, int h) const
+{
+    if (w >= 2 && h >= 2)
+        return has_free_rect(free, w, h);
+    // 1 x N paths can bend around corners, so grid rigidity does not
+    // apply: ask the real mapper (it only reads the shared topology,
+    // so any device's instance answers for all of them).
+    return devices_.front()
+        ->hypervisor()
+        .mapper()
+        .map(mapping_request(w, h, hyp::MappingStrategy::kExact), free)
+        .ok;
+}
+
+Tick
+FleetSimulator::migration_cost(int cores) const
+{
+    const double bytes =
+        static_cast<double>(cfg_.device.spad_bytes_per_core) * cores;
+    return static_cast<Tick>(
+        std::ceil(bytes / cfg_.migration_bytes_per_tick));
+}
+
+// ---- Event loop ----------------------------------------------------------
+
+bool
+FleetSimulator::step()
+{
+    // Next event = min(next arrival, next departure, head timeout).
+    Tick t = kTickMax;
+    if (next_arrival_)
+        t = std::min(t, next_arrival_->arrival);
+    while (!departures_.empty() &&
+           live_.find(departures_.top().second) == live_.end())
+        departures_.pop(); // preempted tenants leave stale entries
+    if (!departures_.empty())
+        t = std::min(t, departures_.top().first);
+    if (!pending_.empty())
+        t = std::min(t, pending_.front().req.arrival + cfg_.queue_timeout);
+
+    if (t == kTickMax)
+        return false; // every request decided, every tenant departed
+
+    advance_integrals(t);
+    now_ = std::max(now_, t);
+    process_departures(t);
+    absorb_arrivals(t);
+    drain_queue(t);
+    return true;
+}
+
+void
+FleetSimulator::run()
+{
+    while (step()) {
+        if (auto* m = obs::metrics())
+            m->on_tick(now_);
+    }
+}
+
+void
+FleetSimulator::absorb_arrivals(Tick t)
+{
+    while (next_arrival_ && next_arrival_->arrival <= t) {
+        note_queue_delta(t, 1);
+        pending_.push_back(Queued{*next_arrival_, false});
+        ++stats_.arrivals;
+        next_arrival_.reset();
+        if (arrivals_.generated() < cfg_.max_arrivals &&
+            !arrivals_.exhausted())
+            next_arrival_ = arrivals_.next();
+    }
+}
+
+void
+FleetSimulator::process_departures(Tick t)
+{
+    while (!departures_.empty() && departures_.top().first <= t) {
+        const auto [expiry, id] = departures_.top();
+        departures_.pop();
+        auto it = live_.find(id);
+        if (it == live_.end())
+            continue; // preempted: tenant went back to the queue
+        const Tenant ten = it->second;
+        FleetDevice& dev = *devices_[static_cast<std::size_t>(ten.device)];
+        const int cores = ten.width * ten.height;
+        dev.hypervisor().destroy(ten.vm);
+        note_used_delta(t, -cores);
+        VNPU_TRACE(emit_instant(
+            "fleet.depart", "fleet", expiry, obs::kTrackFleet,
+            {obs::arg("req", id), obs::arg("dev", ten.device),
+             obs::arg("vm", static_cast<std::int64_t>(ten.vm)),
+             obs::arg("cores", cores)}));
+        live_.erase(it);
+        capacity_dirty_ = true;
+    }
+}
+
+void
+FleetSimulator::expire_timeouts(Tick t)
+{
+    // Patience sweep over the whole queue, not just the head: a giant
+    // head can block small requests past their own deadlines.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->req.arrival + cfg_.queue_timeout <= t) {
+            reject(it->req.arrival + cfg_.queue_timeout, *it);
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+FleetSimulator::drain_queue(Tick t)
+{
+    expire_timeouts(t);
+    while (!pending_.empty()) {
+        const Queued& head = pending_.front();
+        // Damping: a head that failed placement can only succeed after
+        // capacity changed (departure, migration) — skip futile scans.
+        if (head.req.id == blocked_head_ && !capacity_dirty_)
+            return;
+
+        Placement p = place(head.req);
+        if (p.ok) {
+            blocked_head_ = kNoHead;
+            const Queued q = head;
+            pending_.pop_front();
+            FleetDevice& dev =
+                *devices_[static_cast<std::size_t>(p.device)];
+            virt::VirtualNpu& vm = dev.hypervisor().create(
+                vnpu_spec(q.req.width, q.req.height, p.strategy));
+            admit(t, q, p, vm, 0, 0);
+            continue;
+        }
+        if (cfg_.defrag) {
+            ++stats_.defrag_attempts;
+            DefragPlan plan = plan_defrag(head.req);
+            if (plan.ok) {
+                ++stats_.defrag_success;
+                blocked_head_ = kNoHead;
+                const Queued q = head;
+                pending_.pop_front();
+                DefragExec ex = execute_defrag(t, plan, q.req);
+                admit(t, q,
+                      Placement{true, plan.device,
+                                hyp::MappingStrategy::kExact},
+                      *ex.head_vm, ex.wait,
+                      static_cast<std::uint32_t>(plan.moves.size()));
+                continue;
+            }
+        }
+        blocked_head_ = head.req.id;
+        capacity_dirty_ = false;
+        return; // head-of-line block until capacity changes
+    }
+}
+
+// ---- Placement policies --------------------------------------------------
+
+FleetSimulator::Placement
+FleetSimulator::place(const FleetRequest& r) const
+{
+    Placement p = pick_exact(r);
+    if (!p.ok && r.cores() <= cfg_.similar_fallback_max_cores)
+        p = pick_similar(r);
+    return p;
+}
+
+FleetSimulator::Placement
+FleetSimulator::pick_exact(const FleetRequest& r) const
+{
+    int best = -1;
+    int best_free = 0;
+    for (const auto& devp : devices_) {
+        const FleetDevice& dev = *devp;
+        const int free = dev.free_cores();
+        if (free < r.cores())
+            continue;
+        // The scan is exact for rectangular tenants, so the mapper is
+        // only invoked (inside create()) when its rectangle fast path
+        // will hit — never the multi-ms polyomino/VF2 miss path.
+        if (!exact_feasible(dev.hypervisor().free_cores(), r.width,
+                            r.height))
+            continue;
+        if (cfg_.policy == PlacementPolicy::kFirstFit)
+            return Placement{true, dev.id(),
+                             hyp::MappingStrategy::kExact};
+        // Exact placements all have TED 0, so best-fit-by-TED ties
+        // break to the tightest fit; load-balanced wants the loosest.
+        const bool better =
+            best < 0 ||
+            (cfg_.policy == PlacementPolicy::kBestFitTed
+                 ? free < best_free
+                 : free > best_free);
+        if (better) {
+            best = dev.id();
+            best_free = free;
+        }
+    }
+    if (best < 0)
+        return Placement{};
+    return Placement{true, best, hyp::MappingStrategy::kExact};
+}
+
+FleetSimulator::Placement
+FleetSimulator::pick_similar(const FleetRequest& r) const
+{
+    const hyp::MappingRequest req = mapping_request(
+        r.width, r.height, hyp::MappingStrategy::kSimilarTopology);
+    int best = -1;
+    int best_free = 0;
+    double best_ted = 0.0;
+    for (const auto& devp : devices_) {
+        const FleetDevice& dev = *devp;
+        const int free = dev.free_cores();
+        if (free < r.cores())
+            continue;
+        if (largest_free_component(dev.hypervisor().free_cores(),
+                                   cfg_.device.mesh_x,
+                                   cfg_.device.mesh_y) < r.cores())
+            continue; // no connected region is big enough
+        const hyp::MappingResult m = dev.hypervisor().try_map(req);
+        if (!m.ok)
+            continue;
+        if (cfg_.policy == PlacementPolicy::kFirstFit)
+            return Placement{true, dev.id(),
+                             hyp::MappingStrategy::kSimilarTopology};
+        bool better = best < 0;
+        if (!better) {
+            if (cfg_.policy == PlacementPolicy::kBestFitTed)
+                better = m.ted < best_ted ||
+                         (m.ted == best_ted && free < best_free);
+            else
+                better = free > best_free;
+        }
+        if (better) {
+            best = dev.id();
+            best_free = free;
+            best_ted = m.ted;
+        }
+    }
+    if (best < 0)
+        return Placement{};
+    return Placement{true, best, hyp::MappingStrategy::kSimilarTopology};
+}
+
+// ---- Admission / rejection ----------------------------------------------
+
+void
+FleetSimulator::admit(Tick t, const Queued& q, const Placement& p,
+                      virt::VirtualNpu& vm, Tick migration_wait,
+                      std::uint32_t migrations)
+{
+    FleetDevice& dev = *devices_[static_cast<std::size_t>(p.device)];
+
+    // Admissions serialize through the fleet scheduler; service time
+    // is base + the hosting device's private jitter draw. Migration
+    // state-copy overlaps service but gates completion.
+    const Tick start = std::max(t, sched_free_at_);
+    Cycles jitter = 0;
+    if (cfg_.admit_jitter_ticks > 0)
+        jitter = dev.rng().next_below(cfg_.admit_jitter_ticks);
+    if (cfg_.record_device_jitter)
+        jitter_log_[static_cast<std::size_t>(p.device)].push_back(jitter);
+    const Tick service = cfg_.admit_base_ticks + jitter;
+    sched_free_at_ = start + service;
+    const Tick done = start + service + migration_wait;
+
+    const int cores = q.req.cores();
+    note_used_delta(t, cores);
+
+    Tenant ten;
+    ten.request_id = q.req.id;
+    ten.tenant_class = q.req.tenant_class;
+    ten.width = q.req.width;
+    ten.height = q.req.height;
+    ten.device = p.device;
+    ten.vm = vm.vm();
+    ten.expiry = done + q.req.lifetime;
+    live_[q.req.id] = ten;
+    departures_.emplace(ten.expiry, q.req.id);
+    capacity_dirty_ = true; // the create reshaped a free set
+
+    if (q.requeued)
+        return; // preempted tenant going around again: already decided
+
+    FleetDecision d;
+    d.request_id = q.req.id;
+    d.arrival = q.req.arrival;
+    d.decided = done;
+    d.device = p.device;
+    d.vm = vm.vm();
+    d.cores = cores;
+    d.ted = vm.mapping_ted();
+    d.admitted = true;
+    d.migrations = migrations;
+    record_decision(d);
+
+    ++stats_.admitted;
+    if (p.strategy == hyp::MappingStrategy::kExact)
+        ++stats_.admitted_exact;
+    else
+        ++stats_.admitted_similar;
+    stats_.admission_wait.record(
+        static_cast<double>(done - q.req.arrival));
+    stats_.realized_ted.record(d.ted);
+
+    VNPU_TRACE(emit_complete(
+        "fleet.admit", "fleet", start, service + migration_wait,
+        obs::kTrackFleet,
+        {obs::arg("req", q.req.id), obs::arg("dev", p.device),
+         obs::arg("vm", static_cast<std::int64_t>(vm.vm())),
+         obs::arg("cores", cores), obs::arg("ted", d.ted),
+         obs::arg("wait", done - q.req.arrival),
+         obs::arg("migrations", migrations)}));
+}
+
+void
+FleetSimulator::reject(Tick t, const Queued& q)
+{
+    FleetDecision d;
+    d.request_id = q.req.id;
+    d.arrival = q.req.arrival;
+    d.decided = t;
+    d.cores = q.req.cores();
+    d.admitted = false;
+    record_decision(d);
+    ++stats_.rejected;
+    VNPU_TRACE(emit_instant(
+        "fleet.reject", "fleet", t, obs::kTrackFleet,
+        {obs::arg("req", q.req.id), obs::arg("cores", d.cores),
+         obs::arg("waited", t - q.req.arrival)}));
+}
+
+// ---- Defragmentation / migration ----------------------------------------
+
+FleetSimulator::DefragPlan
+FleetSimulator::plan_defrag(const FleetRequest& r) const
+{
+    const hyp::MappingRequest ereq =
+        mapping_request(r.width, r.height, hyp::MappingStrategy::kExact);
+
+    // Try devices in descending free-core order (ties: lowest id) —
+    // the emptiest device needs the fewest migrations.
+    std::vector<int> order;
+    for (const auto& devp : devices_)
+        order.push_back(devp->id());
+    std::sort(order.begin(), order.end(), [this](int a, int b) {
+        const int fa = devices_[static_cast<std::size_t>(a)]->free_cores();
+        const int fb = devices_[static_cast<std::size_t>(b)]->free_cores();
+        return fa != fb ? fa > fb : a < b;
+    });
+
+    for (int d : order) {
+        const FleetDevice& dev = *devices_[static_cast<std::size_t>(d)];
+        // Candidate victims on this device, smallest (cheapest) first.
+        std::vector<const Tenant*> resident;
+        for (const auto& [id, ten] : live_)
+            if (ten.device == d)
+                resident.push_back(&ten);
+        std::sort(resident.begin(), resident.end(),
+                  [](const Tenant* a, const Tenant* b) {
+                      const int ca = a->width * a->height;
+                      const int cb = b->width * b->height;
+                      return ca != cb ? ca < cb
+                                      : a->request_id < b->request_id;
+                  });
+
+        CoreSet acc = dev.hypervisor().free_cores();
+        std::vector<const Tenant*> victims;
+        for (const Tenant* v : resident) {
+            if (static_cast<int>(victims.size()) >=
+                cfg_.max_defrag_victims)
+                break;
+            acc |= dev.hypervisor().find(v->vm)->mask();
+            victims.push_back(v);
+            if (acc.count() < r.cores())
+                continue;
+            if (!exact_feasible(acc, r.width, r.height))
+                continue; // cheap complete scan gates the mapper call
+            const hyp::MappingResult m =
+                dev.hypervisor().mapper().map(ereq, acc);
+            if (!m.ok)
+                continue;
+
+            // The head request lands on region_r; only victims it
+            // actually overlaps need to move.
+            const CoreSet region_r = CoreSet::from_range(m.assignment);
+            std::vector<const Tenant*> moving;
+            CoreSet avail = dev.hypervisor().free_cores();
+            for (const Tenant* w : victims) {
+                const CoreSet wm =
+                    dev.hypervisor().find(w->vm)->mask();
+                if ((wm & region_r).none())
+                    continue; // stays put, keeps its cores
+                moving.push_back(w);
+                avail |= wm;
+            }
+            avail = avail.andnot(region_r);
+
+            // Verify a landing spot for every mover (largest first, so
+            // big blocks grab contiguous space before crumbs do).
+            // Hypothetical free sets track multi-mover consumption on
+            // every device; execution replays the moves in plan order
+            // against exactly these sets.
+            std::sort(moving.begin(), moving.end(),
+                      [](const Tenant* a, const Tenant* b) {
+                          const int ca = a->width * a->height;
+                          const int cb = b->width * b->height;
+                          return ca != cb
+                                     ? ca > cb
+                                     : a->request_id < b->request_id;
+                      });
+            std::map<int, CoreSet> other_avail;
+            for (const auto& op : devices_)
+                if (op->id() != d)
+                    other_avail[op->id()] =
+                        op->hypervisor().free_cores();
+
+            DefragPlan plan;
+            plan.device = d;
+            bool feasible = true;
+            for (const Tenant* w : moving) {
+                VictimMove mv;
+                mv.request_id = w->request_id;
+                const hyp::MappingRequest wexact = mapping_request(
+                    w->width, w->height, hyp::MappingStrategy::kExact);
+                // Same device, in the space left after the head lands.
+                bool placed = false;
+                if (exact_feasible(avail, w->width, w->height)) {
+                    const hyp::MappingResult wm =
+                        dev.hypervisor().mapper().map(wexact, avail);
+                    mv.to_device = d;
+                    mv.strategy = hyp::MappingStrategy::kExact;
+                    avail = avail.andnot(
+                        CoreSet::from_range(wm.assignment));
+                    plan.moves.push_back(mv);
+                    continue;
+                }
+                // Other devices, exact, first-fit.
+                for (auto& [oid, ofree] : other_avail) {
+                    if (!exact_feasible(ofree, w->width, w->height))
+                        continue;
+                    const hyp::MappingResult om =
+                        dev.hypervisor().mapper().map(wexact, ofree);
+                    mv.to_device = oid;
+                    mv.strategy = hyp::MappingStrategy::kExact;
+                    ofree =
+                        ofree.andnot(CoreSet::from_range(om.assignment));
+                    placed = true;
+                    break;
+                }
+                // Last resort: straightforward on the home device —
+                // the k lowest free cores, no contiguity and no NoC
+                // isolation, but also no search cost.
+                if (!placed &&
+                    avail.count() >= w->width * w->height) {
+                    const hyp::MappingRequest wsf = mapping_request(
+                        w->width, w->height,
+                        hyp::MappingStrategy::kStraightforward);
+                    const hyp::MappingResult fm =
+                        dev.hypervisor().mapper().map(wsf, avail);
+                    if (fm.ok) {
+                        mv.to_device = d;
+                        mv.strategy =
+                            hyp::MappingStrategy::kStraightforward;
+                        avail = avail.andnot(
+                            CoreSet::from_range(fm.assignment));
+                        placed = true;
+                    }
+                }
+                if (!placed) {
+                    feasible = false;
+                    break;
+                }
+                plan.moves.push_back(mv);
+            }
+            if (!feasible)
+                continue; // accumulate more victims / next device
+            plan.ok = true;
+            return plan;
+        }
+    }
+    return DefragPlan{};
+}
+
+FleetSimulator::DefragExec
+FleetSimulator::execute_defrag(Tick t, const DefragPlan& plan,
+                               const FleetRequest& r)
+{
+    FleetDevice& home = *devices_[static_cast<std::size_t>(plan.device)];
+    DefragExec ex;
+
+    // Destroy every mover first so the head request sees the exact
+    // free set its mapping was verified against; then land the head;
+    // then re-place the movers in plan order (the plan's hypothetical
+    // free sets replay exactly).
+    std::vector<Tenant> moved;
+    moved.reserve(plan.moves.size());
+    for (const VictimMove& mv : plan.moves) {
+        Tenant& ten = live_.at(mv.request_id);
+        home.hypervisor().destroy(ten.vm);
+        note_used_delta(t, -(ten.width * ten.height));
+        moved.push_back(ten);
+        live_.erase(mv.request_id);
+    }
+
+    ex.head_vm = &home.hypervisor().create(
+        vnpu_spec(r.width, r.height, hyp::MappingStrategy::kExact));
+
+    for (std::size_t i = 0; i < plan.moves.size(); ++i) {
+        const VictimMove& mv = plan.moves[i];
+        Tenant ten = moved[i];
+        FleetDevice& target =
+            *devices_[static_cast<std::size_t>(mv.to_device)];
+        const int cores = ten.width * ten.height;
+        try {
+            const virt::VirtualNpu& nv = target.hypervisor().create(
+                vnpu_spec(ten.width, ten.height, mv.strategy));
+            const Tick cost = migration_cost(cores);
+            ex.wait = std::max(ex.wait, cost);
+            ++stats_.migrations;
+            stats_.migrated_cores += static_cast<std::uint64_t>(cores);
+            stats_.migration_ticks.record(static_cast<double>(cost));
+            VNPU_TRACE(emit_complete(
+                "fleet.migrate", "fleet", t, cost, obs::kTrackFleet,
+                {obs::arg("req", ten.request_id),
+                 obs::arg("from", plan.device),
+                 obs::arg("to", mv.to_device), obs::arg("cores", cores),
+                 obs::arg("strategy", to_string(mv.strategy))}));
+            ten.device = mv.to_device;
+            ten.vm = nv.vm();
+            note_used_delta(t, cores);
+            live_[ten.request_id] = ten;
+            departures_.emplace(ten.expiry, ten.request_id);
+        } catch (const SimFatal&) {
+            // The verified plan failed anyway (should not happen): the
+            // tenant is preempted back into the queue with its
+            // remaining lifetime and a fresh patience window.
+            FleetRequest back;
+            back.id = ten.request_id;
+            back.arrival = t;
+            back.width = ten.width;
+            back.height = ten.height;
+            back.lifetime = ten.expiry > t ? ten.expiry - t : 1;
+            back.tenant_class = ten.tenant_class;
+            note_queue_delta(t, 1);
+            pending_.push_back(Queued{back, true});
+            ++stats_.preemptions;
+        }
+    }
+    capacity_dirty_ = true;
+    return ex;
+}
+
+// ---- Reporting -----------------------------------------------------------
+
+void
+FleetSimulator::record_decision(const FleetDecision& d)
+{
+    decisions_.push_back(d);
+}
+
+std::uint64_t
+FleetSimulator::decision_hash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const FleetDecision& d : decisions_) {
+        h = fnv1a_u64(h, d.request_id);
+        h = fnv1a_u64(h, d.arrival);
+        h = fnv1a_u64(h, d.decided);
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(d.device)));
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(d.vm)));
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(d.cores));
+        std::uint64_t ted_bits = 0;
+        static_assert(sizeof ted_bits == sizeof d.ted);
+        std::memcpy(&ted_bits, &d.ted, sizeof ted_bits);
+        h = fnv1a_u64(h, ted_bits);
+        h = fnv1a_u64(h, d.admitted ? 1 : 0);
+        h = fnv1a_u64(h, d.migrations);
+    }
+    return h;
+}
+
+std::uint64_t
+FleetSimulator::decision_hash48() const
+{
+    const std::uint64_t h = decision_hash();
+    return (h ^ (h >> 48)) & ((std::uint64_t{1} << 48) - 1);
+}
+
+std::vector<std::pair<int, VmId>>
+FleetSimulator::live_vms() const
+{
+    std::vector<std::pair<int, VmId>> out;
+    out.reserve(live_.size());
+    for (const auto& [id, ten] : live_)
+        out.emplace_back(ten.device, ten.vm);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+double
+FleetSimulator::utilization_mean() const
+{
+    const double horizon =
+        static_cast<double>(std::max<Tick>(last_integral_t_, 1));
+    return used_core_ticks_ / (horizon * std::max(total_cores_, 1));
+}
+
+double
+FleetSimulator::utilization_peak() const
+{
+    return static_cast<double>(used_peak_) / std::max(total_cores_, 1);
+}
+
+double
+FleetSimulator::queue_depth_mean() const
+{
+    const double horizon =
+        static_cast<double>(std::max<Tick>(last_integral_t_, 1));
+    return queue_depth_ticks_ / horizon;
+}
+
+void
+FleetSimulator::collect_stats(StatSet& out,
+                              const std::string& prefix) const
+{
+    out.add(prefix + "arrivals",
+            static_cast<double>(stats_.arrivals.value()));
+    out.add(prefix + "admitted",
+            static_cast<double>(stats_.admitted.value()));
+    out.add(prefix + "rejected",
+            static_cast<double>(stats_.rejected.value()));
+    out.add(prefix + "admitted.exact",
+            static_cast<double>(stats_.admitted_exact.value()));
+    out.add(prefix + "admitted.similar",
+            static_cast<double>(stats_.admitted_similar.value()));
+    out.add(prefix + "defrag.attempts",
+            static_cast<double>(stats_.defrag_attempts.value()));
+    out.add(prefix + "defrag.success",
+            static_cast<double>(stats_.defrag_success.value()));
+    out.add(prefix + "migrations",
+            static_cast<double>(stats_.migrations.value()));
+    out.add(prefix + "migrated_cores",
+            static_cast<double>(stats_.migrated_cores.value()));
+    out.add(prefix + "preemptions",
+            static_cast<double>(stats_.preemptions.value()));
+    out.set(prefix + "devices", static_cast<double>(devices_.size()));
+    out.set(prefix + "queue.depth",
+            static_cast<double>(pending_.size()));
+    out.set(prefix + "queue.depth_peak",
+            static_cast<double>(queue_peak_));
+    out.set(prefix + "queue.depth_mean", queue_depth_mean());
+    out.set(prefix + "live_tenants", static_cast<double>(live_.size()));
+    out.set(prefix + "util.mean", utilization_mean());
+    out.set(prefix + "util.peak", utilization_peak());
+    stats_.admission_wait.collect(out, prefix + "wait.");
+    stats_.realized_ted.collect(out, prefix + "ted.");
+    stats_.migration_ticks.collect(out, prefix + "migration.");
+}
+
+} // namespace vnpu::fleet

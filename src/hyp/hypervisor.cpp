@@ -139,9 +139,12 @@ Hypervisor::confined_routes_for(const CoreSet& region)
     for (auto victim =
          route_cache_.begin(); // vnpu-lint: allow(unordered-iter)
          victim != route_cache_.end() && route_cache_.size() >= cap;) {
-        victim = victim->second.use_count() == 1
-                     ? route_cache_.erase(victim)
-                     : std::next(victim);
+        if (victim->second.use_count() == 1) {
+            victim = route_cache_.erase(victim);
+            ++stats_.route_cache_evictions;
+        } else {
+            victim = std::next(victim);
+        }
     }
     auto routes = std::make_shared<const noc::RouteOverride>(
         noc::RouteOverride::build_confined(topo_, region));
@@ -365,6 +368,8 @@ Hypervisor::collect_stats(StatSet& out, const std::string& prefix) const
             static_cast<double>(stats_.route_cache_hits.value()));
     out.add(prefix + "route_cache.misses",
             static_cast<double>(stats_.route_cache_misses.value()));
+    out.add(prefix + "route_cache.evictions",
+            static_cast<double>(stats_.route_cache_evictions.value()));
     out.add(prefix + "mapper.search_steps",
             static_cast<double>(stats_.mapper_search_steps.value()));
     out.add(prefix + "mapper.budget_exhausted",

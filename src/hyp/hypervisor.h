@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +58,7 @@ struct HypervisorStats {
     Counter setup_cycles;       ///< Accumulated meta-table config cost.
     Counter route_cache_hits;   ///< Confined routes reused from cache.
     Counter route_cache_misses; ///< Confined routes built from scratch.
+    Counter route_cache_evictions; ///< Unreferenced tables dropped at cap.
     Counter mapper_search_steps;    ///< Exact-search placements attempted.
     Counter mapper_budget_exhausted; ///< Exact searches that gave up.
     // Similar/fragmented scoring-funnel stages (docs/sim_kernel.md):
@@ -99,8 +101,23 @@ class Hypervisor {
     const HypervisorStats& stats() const { return stats_; }
 
     /** Telemetry sweep: lifecycle, route-cache and funnel counters. */
-    void collect_stats(StatSet& out,
-                       const std::string& prefix = "hyp.") const;
+    void collect_stats(StatSet& out, const std::string& prefix) const;
+    /** Sweep under the installed stats prefix (default "hyp."). */
+    void collect_stats(StatSet& out) const
+    {
+        collect_stats(out, stats_prefix_);
+    }
+
+    /**
+     * Prefix for this hypervisor's metrics-timeline columns. A fleet of
+     * devices installs distinct prefixes ("fleet.dev3.hyp.") so N
+     * hypervisors can ride one MetricsSampler without gauge collisions.
+     */
+    void set_stats_prefix(std::string prefix)
+    {
+        stats_prefix_ = std::move(prefix);
+    }
+    const std::string& stats_prefix() const { return stats_prefix_; }
 
     /** Ring of recent admission decisions (admitted and rejected). */
     const AdmissionAuditRing& audit_log() const { return audit_; }
@@ -156,6 +173,7 @@ class Hypervisor {
         route_cache_;
     VmId next_vm_ = 1;
     Cycles last_setup_cost_ = 0;
+    std::string stats_prefix_ = "hyp.";
     HypervisorStats stats_;
     AdmissionAuditRing audit_;
     std::map<VmId, std::unique_ptr<virt::VirtualNpu>> vnpus_;

@@ -111,6 +111,7 @@ class TraceSink {
  */
 inline constexpr std::uint32_t kTrackQueue = 1u << 20; ///< Event queue.
 inline constexpr std::uint32_t kTrackHyp = kTrackQueue + 1; ///< Admission.
+inline constexpr std::uint32_t kTrackFleet = kTrackQueue + 2; ///< Fleet.
 
 namespace detail {
 /** The installed sink; sim-thread-only, nullptr = tracing off. */

@@ -19,6 +19,27 @@ class Rng {
   public:
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
 
+    /**
+     * Decorrelated substream `stream` of master seed `seed`.
+     *
+     * Replicated components (fleet devices) must NOT share one Rng:
+     * interleaved draws would make every component's decision sequence
+     * depend on how many siblings exist and on event ordering. Deriving
+     * each component's generator as `substream(seed, component_id)`
+     * keeps a component's private sequence invariant to the population
+     * around it (pinned by FleetTest.DeviceStreamInvariantToFleetSize).
+     * The (seed, stream) pair is avalanche-mixed so sibling streams are
+     * decorrelated even for consecutive ids.
+     */
+    static Rng
+    substream(std::uint64_t seed, std::uint64_t stream)
+    {
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return Rng(z ^ (z >> 31));
+    }
+
     /** Next raw 64-bit value. */
     std::uint64_t
     next()

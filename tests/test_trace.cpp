@@ -8,8 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstring>
+#include <deque>
+#include <map>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "hyp/admission_audit.h"
@@ -283,6 +288,312 @@ TEST(AuditRingTest, SetCapacityRepacksOldestFirst)
     EXPECT_EQ(ring.size(), 4u);
     EXPECT_EQ(ring.at(0).seq, 17u);
     EXPECT_EQ(ring.at(3).seq, 20u);
+}
+
+/**
+ * Strict JSON value parser (validate + collect top-level string
+ * members). Just substring-probing a dump cannot catch escaping
+ * faults; this actually consumes every byte the way RFC 8259 says a
+ * reader will, and records decoded top-level strings for round-trip
+ * comparison.
+ */
+class JsonChecker {
+  public:
+    explicit JsonChecker(const std::string& s) : s_(s) {}
+
+    bool
+    parse()
+    {
+        pos_ = 0;
+        if (!value(""))
+            return false;
+        skip_ws();
+        return pos_ == s_.size();
+    }
+
+    /** Decoded top-level string members, by key. */
+    const std::map<std::string, std::string>& strings() const
+    {
+        return strings_;
+    }
+
+  private:
+    void
+    skip_ws()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char* lit)
+    {
+        const std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string_value(std::string& out)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(s_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return false; // raw control char: invalid JSON
+            if (c == '\\') {
+                if (++pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        return false;
+                    unsigned v = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_++];
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            v |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            v |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    if (v > 0xFF)
+                        return false; // audit strings are raw bytes
+                    out += static_cast<char>(v);
+                    break;
+                  }
+                  default: return false;
+                }
+            } else {
+                out += static_cast<char>(c);
+                ++pos_;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        std::size_t digits = 0;
+        while (pos_ < s_.size() && std::isdigit(
+                                       static_cast<unsigned char>(
+                                           s_[pos_]))) {
+            ++pos_;
+            ++digits;
+        }
+        if (digits == 0)
+            return false;
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                return false;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() &&
+                (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                return false;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    value(const std::string& key, int depth = 0)
+    {
+        skip_ws();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{') {
+            ++pos_;
+            skip_ws();
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skip_ws();
+                std::string k;
+                if (!string_value(k))
+                    return false;
+                skip_ws();
+                if (pos_ >= s_.size() || s_[pos_++] != ':')
+                    return false;
+                if (!value(k, depth + 1))
+                    return false;
+                skip_ws();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                break;
+            }
+            return pos_ < s_.size() && s_[pos_++] == '}';
+        }
+        if (c == '[') {
+            ++pos_;
+            skip_ws();
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                if (!value("", depth + 1))
+                    return false;
+                skip_ws();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                break;
+            }
+            return pos_ < s_.size() && s_[pos_++] == ']';
+        }
+        if (c == '"') {
+            std::string v;
+            if (!string_value(v))
+                return false;
+            if (depth == 1 && !key.empty())
+                strings_[key] = v;
+            return true;
+        }
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+    std::map<std::string, std::string> strings_;
+};
+
+TEST(AuditRingTest, DumpJsonlSurvivesAdversarialStrings)
+{
+    // Failure reasons flow straight from fatal() messages into the
+    // ring; under fleet churn they can carry model names, quoted
+    // specs, file paths — any byte. Every line of the dump must stay
+    // machine-parseable JSON and round-trip the exact string.
+    std::vector<std::string> nasty = {
+        "plain reason",
+        "quote \" backslash \\ slash / done",
+        "newline \n tab \t cr \r backspace \b formfeed \f",
+        "\"{]}\\u0000 not a real escape: \\x41",
+        std::string("embedded\0NUL", 12),
+        "high bytes \xc3\xa9\xf0\x9f\x92\xa9 pass through",
+        "trailing backslash \\",
+    };
+    std::string all_controls;
+    for (int c = 1; c < 0x20; ++c)
+        all_controls += static_cast<char>(c);
+    nasty.push_back(all_controls);
+
+    hyp::AdmissionAuditRing ring(64);
+    for (const std::string& s : nasty) {
+        hyp::AdmissionAuditEntry e;
+        e.requested_cores = 4;
+        e.strategy = hyp::MappingStrategy::kSimilarTopology;
+        e.error = s;
+        ring.push(std::move(e));
+    }
+
+    std::ostringstream os;
+    ring.dump_jsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t i = 0;
+    while (std::getline(is, line)) {
+        ASSERT_LT(i, nasty.size());
+        JsonChecker parser(line);
+        ASSERT_TRUE(parser.parse()) << "line " << i << ": " << line;
+        const auto it = parser.strings().find("error");
+        ASSERT_NE(it, parser.strings().end()) << "line " << i;
+        EXPECT_EQ(it->second, nasty[i]) << "line " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, nasty.size());
+}
+
+TEST(AuditRingTest, SetCapacityFuzzMatchesDequeOracle)
+{
+    // Adversarial repack schedule: random push bursts interleaved with
+    // random grow/shrink set_capacity calls, so repacks regularly hit
+    // a ring whose head has wrapped mid-buffer. The ring must always
+    // hold exactly the newest entries in oldest-first order — modeled
+    // by a deque oracle that never wraps.
+    hyp::AdmissionAuditRing ring(5);
+    std::deque<std::uint64_t> oracle; // seq numbers, oldest first
+    std::size_t oracle_cap = 5;
+    std::uint64_t next_seq = 0;
+    Rng rng(2024);
+
+    for (int op = 0; op < 400; ++op) {
+        if (rng.next_below(3) != 0) {
+            const std::uint64_t burst = rng.next_below(9) + 1;
+            for (std::uint64_t b = 0; b < burst; ++b) {
+                hyp::AdmissionAuditEntry e;
+                e.requested_cores = static_cast<int>(next_seq);
+                EXPECT_EQ(ring.push(std::move(e)), next_seq);
+                oracle.push_back(next_seq++);
+                while (oracle.size() > oracle_cap)
+                    oracle.pop_front();
+            }
+        } else {
+            const std::size_t cap = rng.next_below(11) + 1;
+            ring.set_capacity(cap);
+            oracle_cap = cap;
+            while (oracle.size() > oracle_cap)
+                oracle.pop_front();
+        }
+        ASSERT_EQ(ring.size(), oracle.size()) << "op " << op;
+        ASSERT_EQ(ring.total_pushed(), next_seq);
+        for (std::size_t i = 0; i < oracle.size(); ++i) {
+            ASSERT_EQ(ring.at(i).seq, oracle[i])
+                << "op " << op << " slot " << i;
+            ASSERT_EQ(ring.at(i).requested_cores,
+                      static_cast<int>(oracle[i]));
+        }
+    }
 }
 
 TEST(HypervisorAuditTest, RecordsAdmissionsAndRejections)
